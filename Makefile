@@ -1,0 +1,33 @@
+# Convenience targets for the repro repository.
+
+PY ?= python
+
+.PHONY: install test bench tables examples all clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every experiment table (E1-E11) with assertions.
+tables:
+	$(PY) -m pytest benchmarks/ -s
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/locktest_swapping.py
+	$(PY) examples/zero_copy_messaging.py
+	$(PY) examples/registration_cache.py
+	$(PY) examples/raw_io.py
+	$(PY) examples/parallel_sort.py
+	$(PY) examples/halo_exchange.py
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

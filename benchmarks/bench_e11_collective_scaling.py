@@ -1,0 +1,102 @@
+"""E11 — collective scaling: simulated cost of barrier / bcast /
+allreduce as the world grows.
+
+Measurement-model note: the simulated clock is a single serial
+timeline, so a collective's cost here is its **total message work**,
+not its parallel critical path.  For a binomial tree that total is
+n−1 messages (linear in n, log₂ n rounds); for the dissemination
+barrier it is n·⌈log₂ n⌉ tokens.  The bench checks those totals — and
+that no collective degenerates to the quadratic naive algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_table
+from repro.mpi import MpiWorld
+
+RANKS = [2, 4, 8]
+COUNT = 256          # reduction elements
+BCAST_BYTES = 8192
+
+
+def measure(n: int) -> dict:
+    world = MpiWorld(n, num_frames=1024, eager_threshold=16 * 1024)
+    vas, outs = [], []
+    for r in world.ranks:
+        v = r.task.mmap(4)
+        r.task.touch_pages(v, 4)
+        vas.append(v)
+        o = r.task.mmap(4)
+        r.task.touch_pages(o, 4)
+        outs.append(o)
+    world.ranks[0].task.write(vas[0], b"x" * BCAST_BYTES)
+    for i, r in enumerate(world.ranks):
+        r.task.write(outs[i], np.full(COUNT, float(i)).tobytes())
+
+    out = {}
+    with world.clock.measure() as span:
+        world.barrier()
+    out["barrier"] = span.elapsed_ns
+    with world.clock.measure() as span:
+        world.bcast(0, vas, BCAST_BYTES)
+    out["bcast"] = span.elapsed_ns
+    with world.clock.measure() as span:
+        world.allreduce(outs, vas, COUNT)
+    out["allreduce"] = span.elapsed_ns
+    dst = world.ranks[0].task.mmap(8)
+    world.ranks[0].task.touch_pages(dst, 8)
+    with world.clock.measure() as span:
+        world.gather(0, vas, dst, 1024)
+    out["gather"] = span.elapsed_ns
+    return out
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return {n: measure(n) for n in RANKS}
+
+
+def test_e11_collective_scaling(scaling, report):
+    if report("E11: collective scaling"):
+        print_table(
+            "E11 — simulated ms per collective vs world size",
+            ["ranks", "barrier", "bcast 8KiB", "allreduce 256d",
+             "gather 1KiB/rank"],
+            [[n,
+              f"{scaling[n]['barrier'] / 1e6:.3f}",
+              f"{scaling[n]['bcast'] / 1e6:.3f}",
+              f"{scaling[n]['allreduce'] / 1e6:.3f}",
+              f"{scaling[n]['gather'] / 1e6:.3f}"]
+             for n in RANKS])
+    # Binomial collectives: total work is n−1 messages, so 4→8 costs
+    # about (8−1)/(4−1) ≈ 2.33× — far below the 4× a naive quadratic
+    # (everyone-to-everyone) scheme would show.
+    for op in ("bcast", "allreduce"):
+        r4, r8 = scaling[4][op], scaling[8][op]
+        assert 1.5 < r8 / r4 < 3.2, \
+            f"{op} off the binomial total-work shape: {r4} → {r8}"
+    # Dissemination barrier: n·log2(n) tokens → 8·3 / 4·2 = 3×.
+    b4, b8 = scaling[4]["barrier"], scaling[8]["barrier"]
+    assert 2.0 < b8 / b4 < 4.0
+    # Linear collective: gather grows ~linearly in ranks.
+    assert scaling[8]["gather"] > 1.5 * scaling[4]["gather"]
+    # Everything grows monotonically with n.
+    for op in ("barrier", "bcast", "allreduce", "gather"):
+        vals = [scaling[n][op] for n in RANKS]
+        assert vals[0] < vals[1] < vals[2]
+
+
+def test_e11_allreduce(benchmark):
+    """Host time of one 4-rank allreduce."""
+    world = MpiWorld(4, num_frames=1024)
+    vas, outs = [], []
+    for r in world.ranks:
+        v = r.task.mmap(2)
+        r.task.touch_pages(v, 2)
+        vas.append(v)
+        o = r.task.mmap(2)
+        r.task.touch_pages(o, 2)
+        outs.append(o)
+        r.task.write(v, np.ones(64).tobytes())
+    benchmark(lambda: world.allreduce(vas, outs, 64))

@@ -1,0 +1,55 @@
+"""E1 — the Section 3.1 swap experiment: registration-survival matrix.
+
+Regenerates the paper's central result for every locking backend:
+pages relocated, DMA visibility, orphaned frames, stale TPT entries.
+
+Expected shape (paper): refcount → all pages relocate, DMA write lands
+in an orphaned frame ("the first page still contained its original
+value"); pageflags / mlock / kiobuf → fully stable.
+"""
+
+import pytest
+
+from repro.bench.harness import fmt_ns, print_table
+from repro.core.locktest import LocktestExperiment, run_matrix
+from repro.via.locking import BACKENDS
+
+BUFFER_PAGES = 64
+NUM_FRAMES = 512
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(sorted(BACKENDS), buffer_pages=BUFFER_PAGES,
+                      num_frames=NUM_FRAMES)
+
+
+def test_e1_survival_matrix(matrix, report):
+    """Print the E1 table and assert the paper's qualitative result."""
+    if report("E1: locktest survival matrix (Sec. 3.1)"):
+        print_table(
+            f"E1 — {BUFFER_PAGES}-page buffer, "
+            f"{NUM_FRAMES * 4 // 1024} MiB RAM, allocator 2x RAM",
+            ["backend", "pages moved", "DMA visible", "orphans (during)",
+             "orphans (after)", "stale TPT", "reg", "dereg", "survived"],
+            [[r.backend, f"{r.pages_relocated}/{r.npages}",
+              r.dma_write_visible, r.orphan_frames_during,
+              r.orphan_frames_after, r.stale_tpt_entries,
+              fmt_ns(r.register_ns), fmt_ns(r.deregister_ns),
+              r.registration_survived]
+             for r in matrix])
+    by_name = {r.backend: r for r in matrix}
+    assert not by_name["refcount"].registration_survived
+    assert by_name["refcount"].pages_relocated == BUFFER_PAGES
+    assert by_name["refcount"].orphan_frames_after == 0
+    for name in ("pageflags", "mlock", "mlock_naive", "kiobuf"):
+        assert by_name[name].registration_survived
+
+
+@pytest.mark.parametrize("backend", ["refcount", "kiobuf"])
+def test_e1_locktest_run(benchmark, backend):
+    """Host-time cost of one full locktest run (simulator throughput)."""
+    result = benchmark(
+        lambda: LocktestExperiment(backend, buffer_pages=32,
+                                   num_frames=256).run())
+    assert result.registration_survived == (backend == "kiobuf")

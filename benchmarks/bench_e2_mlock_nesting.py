@@ -1,0 +1,119 @@
+"""E2 — mlock non-nesting (Sec. 3.2) and the capability gate.
+
+Two tables:
+
+1. **Nesting matrix** — register the same range k times, deregister
+   once, apply pressure: does the remaining registration survive?
+   Expected: mlock_naive loses protection for every k > 1 ("a single
+   unlock operation annuls multiple lock operations"); the tracked
+   variant and kiobuf survive.
+2. **Capability-gate matrix** — who can reach do_mlock: plain user via
+   the syscall (denied), root (ok), the User-DMA-patch path (ok), the
+   cap_raise/cap_lower dance (ok).
+"""
+
+import pytest
+
+from repro.bench.harness import print_table
+from repro.errors import PermissionDenied
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel import paging
+from repro.kernel.kernel import Kernel
+from repro.via.locking import make_backend
+
+PAGES = 16
+
+
+def survives_after_one_dereg(backend_name: str, k: int) -> bool:
+    kernel = Kernel(num_frames=256, swap_slots=2048)
+    t = kernel.create_task()
+    va = t.mmap(PAGES)
+    be = make_backend(backend_name)
+    results = [be.lock(kernel, t, va, PAGES * PAGE_SIZE)
+               for _ in range(k)]
+    frames = results[-1].frames
+    be.unlock(kernel, results[0].cookie)    # deregister ONE of k
+    for _ in range(4):
+        paging.swap_out(kernel, kernel.pagemap.num_frames)
+    survived = t.physical_pages(va, PAGES) == frames
+    return survived
+
+
+@pytest.fixture(scope="module")
+def nesting_rows():
+    rows = []
+    for name in ("mlock_naive", "mlock", "kiobuf"):
+        for k in (1, 2, 4, 8):
+            if k == 1:
+                # deregistering the only registration: pages are *meant*
+                # to become stealable; skip the survival question
+                continue
+            rows.append([name, k, survives_after_one_dereg(name, k)])
+    return rows
+
+
+def test_e2_nesting_matrix(nesting_rows, report):
+    if report("E2: mlock nesting (Sec. 3.2)"):
+        print_table(
+            "E2a — register k times, deregister once, pressure: "
+            "does the live registration survive?",
+            ["backend", "k", "survives"],
+            nesting_rows)
+    for name, k, survives in nesting_rows:
+        if name == "mlock_naive":
+            assert not survives, f"naive mlock must fail at k={k}"
+        else:
+            assert survives, f"{name} must survive at k={k}"
+
+
+@pytest.fixture(scope="module")
+def gate_rows():
+    rows = []
+
+    def attempt(label, uid, how):
+        kernel = Kernel(num_frames=128)
+        t = kernel.create_task(uid=uid)
+        va = t.mmap(2)
+        try:
+            how(kernel, t, va)
+            ok = True
+        except PermissionDenied:
+            ok = False
+        rows.append([label, "uid=%d" % uid, ok])
+
+    attempt("sys_mlock (stock kernel)", 1000,
+            lambda k, t, va: k.sys_mlock(t, va, 2 * PAGE_SIZE))
+    attempt("sys_mlock (stock kernel)", 0,
+            lambda k, t, va: k.sys_mlock(t, va, 2 * PAGE_SIZE))
+    attempt("do_mlock (User-DMA patch)", 1000,
+            lambda k, t, va: k.do_mlock(t, va, 2 * PAGE_SIZE))
+    attempt("cap_raise; sys_mlock; cap_lower", 1000,
+            lambda k, t, va: k.mlock_with_cap_dance(t, va, 2 * PAGE_SIZE))
+    return rows
+
+
+def test_e2_capability_gate(gate_rows, report):
+    if report("E2b: capability gate"):
+        print_table("E2b — routes to do_mlock",
+                    ["route", "caller", "allowed"], gate_rows)
+    assert gate_rows[0][2] is False    # plain user, stock syscall
+    assert gate_rows[1][2] is True     # root
+    assert gate_rows[2][2] is True     # patch
+    assert gate_rows[3][2] is True     # cap dance
+
+
+def test_e2_tracked_unlock_cost(benchmark):
+    """Host-time cost of the tracked-mlock register/deregister cycle —
+    the bookkeeping price the paper's proposal avoids."""
+
+    def cycle():
+        kernel = Kernel(num_frames=256)
+        t = kernel.create_task()
+        va = t.mmap(PAGES)
+        be = make_backend("mlock")
+        r1 = be.lock(kernel, t, va, PAGES * PAGE_SIZE)
+        r2 = be.lock(kernel, t, va, PAGES * PAGE_SIZE)
+        be.unlock(kernel, r1.cookie)
+        be.unlock(kernel, r2.cookie)
+
+    benchmark(cycle)

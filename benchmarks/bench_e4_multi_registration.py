@@ -1,0 +1,120 @@
+"""E4 — multiple registration: support matrix and cost.
+
+The VIA spec "explicitly allows a certain memory area to be registered
+several times"; this bench registers the same range k times and
+deregisters in LIFO, FIFO, and interleaved order, verifying after every
+single deregistration that the surviving registrations still protect
+the pages — then reports the per-registration cost as k grows.
+
+Expected: kiobuf and tracked-mlock pass every order at every k;
+pageflags and naive-mlock fail on the *first* deregistration;
+per-registration cost is flat in k (no superlinear bookkeeping).
+"""
+
+import pytest
+
+from repro.bench.harness import print_table
+from repro.core.audit import audit_tpt_consistency
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel import paging
+from repro.via.machine import Machine
+
+PAGES = 8
+ORDERS = {
+    "lifo": lambda k: list(range(k - 1, -1, -1)),
+    "fifo": lambda k: list(range(k)),
+    "interleaved": lambda k: (list(range(0, k, 2))
+                              + list(range(1, k, 2))),
+}
+
+
+def run_order(backend: str, k: int, order: str) -> bool:
+    """True iff every intermediate state keeps live registrations valid."""
+    m = Machine(num_frames=512, backend=backend)
+    t = m.spawn()
+    ua = m.user_agent(t)
+    va = t.mmap(PAGES)
+    regs = [ua.register_mem(va, PAGES * PAGE_SIZE) for _ in range(k)]
+    for idx in ORDERS[order](k):
+        ua.deregister_mem(regs[idx])
+        if not m.agent.registrations:
+            break
+        # Pressure between deregistrations, then audit the survivors.
+        paging.swap_out(m.kernel, m.kernel.pagemap.num_frames)
+        if audit_tpt_consistency(m.agent):
+            return False
+        frames = t.physical_pages(va, PAGES)
+        live = next(iter(m.agent.registrations.values()))
+        if list(live.region.frames) != frames:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def support_rows():
+    rows = []
+    for backend in ("pageflags", "mlock_naive", "mlock", "kiobuf"):
+        for order in ORDERS:
+            ok = all(run_order(backend, k, order) for k in (2, 4, 8))
+            rows.append([backend, order, ok])
+    return rows
+
+
+def test_e4_support_matrix(support_rows, report):
+    if report("E4: multiple-registration support"):
+        print_table(
+            "E4a — same range registered k∈{2,4,8} times, deregistered "
+            "in the given order under pressure",
+            ["backend", "dereg order", "all intermediate states valid"],
+            support_rows)
+    for backend, order, ok in support_rows:
+        if backend in ("mlock", "kiobuf"):
+            assert ok, f"{backend}/{order} must support multi-reg"
+        else:
+            assert not ok, f"{backend}/{order} must fail multi-reg"
+
+
+@pytest.fixture(scope="module")
+def cost_rows():
+    rows = []
+    for backend in ("mlock", "kiobuf"):
+        for k in (1, 2, 4, 8, 16):
+            m = Machine(num_frames=512, backend=backend)
+            t = m.spawn()
+            ua = m.user_agent(t)
+            va = t.mmap(PAGES)
+            # Pre-touch so the first registration does not pay fault-in
+            # costs the others skip — we measure pure registration work.
+            t.touch_pages(va, PAGES)
+            with m.kernel.clock.measure() as span:
+                regs = [ua.register_mem(va, PAGES * PAGE_SIZE)
+                        for _ in range(k)]
+                for reg in regs:
+                    ua.deregister_mem(reg)
+            rows.append([backend, k, span.elapsed_ns / k / 1000.0])
+    return rows
+
+
+def test_e4_per_registration_cost_flat(cost_rows, report):
+    if report("E4b: per-registration cost vs k"):
+        print_table("E4b — simulated us per register+deregister",
+                    ["backend", "k", "us/registration"], cost_rows)
+    for backend in ("mlock", "kiobuf"):
+        costs = [c for b, k, c in cost_rows if b == backend]
+        assert max(costs) < 2.0 * min(costs), \
+            f"{backend} cost not flat in k: {costs}"
+
+
+def test_e4_kiobuf_k8_cycle(benchmark):
+    """Host time of an 8-deep registration stack (kiobuf)."""
+
+    def cycle():
+        m = Machine(num_frames=512, backend="kiobuf")
+        t = m.spawn()
+        ua = m.user_agent(t)
+        va = t.mmap(PAGES)
+        regs = [ua.register_mem(va, PAGES * PAGE_SIZE) for _ in range(8)]
+        for reg in regs:
+            ua.deregister_mem(reg)
+
+    benchmark(cycle)

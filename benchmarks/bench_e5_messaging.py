@@ -1,0 +1,155 @@
+"""E5 — end-to-end messaging under memory pressure.
+
+Three series over a message-size sweep (the textual form of a NetPIPE-
+style bandwidth figure):
+
+1. bandwidth per protocol (eager / rendezvous-copy / zero-copy) on the
+   kiobuf backend — expected: eager wins small, zero-copy wins large,
+   crossover in the few-KiB range;
+2. zero-copy with vs without the registration cache on a buffer-reuse
+   workload — expected: the cache removes most registrations and closes
+   the first-use cliff;
+3. correctness under pressure per backend — expected: kiobuf transfers
+   all verify; refcount transfers silently corrupt once reclaim has
+   moved registered pages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_series, print_table
+from repro.hw.physmem import PAGE_SIZE
+from repro.msg.endpoint import make_pair
+from repro.msg.protocols import (
+    EagerProtocol, RendezvousCopyProtocol, RendezvousZeroCopyProtocol,
+)
+from repro.via.descriptor import DataSegment, Descriptor
+from repro.via.machine import Cluster
+from repro.workloads.allocator import apply_memory_pressure
+
+SIZES = [1 << k for k in range(8, 21, 2)]   # 256 B .. 1 MiB
+
+
+def build_pair(backend: str = "kiobuf", num_frames: int = 4096):
+    cluster = Cluster(2, num_frames=num_frames, backend=backend)
+    s, r = make_pair(cluster)
+    pages = max(SIZES) // PAGE_SIZE + 2
+    src = s.task.mmap(pages)
+    s.task.touch_pages(src, pages)
+    dst = r.task.mmap(pages)
+    r.task.touch_pages(dst, pages)
+    return cluster, s, r, src, dst
+
+
+@pytest.fixture(scope="module")
+def bandwidth_series():
+    cluster, s, r, src, dst = build_pair()
+    rng = np.random.default_rng(0)
+    protocols = [EagerProtocol(), RendezvousCopyProtocol(),
+                 RendezvousZeroCopyProtocol(use_cache=True)]
+    series: dict[str, list] = {p.name: [] for p in protocols}
+    for size in SIZES:
+        s.task.write(src, bytes(rng.integers(0, 256, size,
+                                             dtype=np.uint8)))
+        for proto in protocols:
+            res = proto.transfer(s, r, src, dst, size)
+            assert res.ok
+            series[proto.name].append((size, res.bandwidth_mb_s))
+    return series
+
+
+def test_e5_bandwidth_sweep(bandwidth_series, report):
+    if report("E5: messaging bandwidth"):
+        print_series("E5a — bandwidth vs message size (kiobuf backend)",
+                     "bytes", bandwidth_series, ylabel="MB/s")
+    eager = dict(bandwidth_series["eager"])
+    zcopy = dict(bandwidth_series["rendezvous-zerocopy+cache"])
+    assert eager[256] > zcopy[256], "eager must win tiny messages"
+    assert zcopy[1 << 20] > 1.5 * eager[1 << 20], \
+        "zero-copy must win large messages clearly"
+    # Crossover exists inside the sweep.
+    crossed = [n for n in SIZES if zcopy[n] > eager[n]]
+    assert crossed and min(crossed) <= 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def cache_rows():
+    rows = []
+    for use_cache in (False, True):
+        cluster, s, r, src, dst = build_pair()
+        proto = RendezvousZeroCopyProtocol(use_cache=use_cache)
+        size = 256 * 1024
+        regs = hits = 0
+        total_ns = 0
+        for i in range(10):   # the same buffers reused 10 times
+            res = proto.transfer(s, r, src, dst, size)
+            assert res.ok
+            regs += res.registrations
+            hits += res.cache_hits
+            total_ns += res.sim_ns
+        rows.append([proto.name, regs, hits, total_ns / 10 / 1000.0])
+    return rows
+
+
+def test_e5_cache_effect(cache_rows, report):
+    if report("E5b: registration cache effect"):
+        print_table("E5b — 10 reuses of the same 256 KiB buffers",
+                    ["protocol", "registrations", "cache hits",
+                     "avg us/transfer"], cache_rows)
+    nocache, cache = cache_rows
+    assert nocache[1] == 20 and nocache[2] == 0
+    assert cache[1] == 2 and cache[2] == 18
+    assert cache[3] < nocache[3]
+
+
+@pytest.fixture(scope="module")
+def pressure_rows():
+    """Zero-copy RDMA with reclaim running between registration and
+    use, per backend."""
+    rows = []
+    for backend in ("kiobuf", "mlock", "refcount"):
+        cluster, s, r, src, dst = build_pair(backend, num_frames=512)
+        size = 16 * PAGE_SIZE
+        payload = bytes(np.random.default_rng(1).integers(
+            0, 256, size, dtype=np.uint8))
+        s.task.write(src, payload)
+        rreg = r.ua.register_mem(dst, size, rdma_write=True)
+        hog = apply_memory_pressure(r.machine.kernel, factor=1.5)
+        r.task.touch_pages(dst, size // PAGE_SIZE)
+        hog.release()
+        sreg = s.ua.register_mem(src, size)
+        desc = Descriptor.rdma_write(
+            [DataSegment(sreg.handle, src, size)],
+            remote_handle=rreg.handle, remote_va=dst)
+        s.ua.post_send(s.vi, desc)
+        correct = r.task.read(dst, size) == payload
+        rows.append([backend, desc.status, correct])
+    return rows
+
+
+def test_e5_correctness_under_pressure(pressure_rows, report):
+    if report("E5c: zero-copy correctness under pressure"):
+        print_table("E5c — RDMA write after reclaim hit the registered "
+                    "buffer",
+                    ["backend", "RDMA status", "payload correct"],
+                    pressure_rows)
+    by_name = {r[0]: r for r in pressure_rows}
+    assert by_name["kiobuf"][2] is True
+    assert by_name["mlock"][2] is True
+    # The silent failure: the RDMA "succeeds" but the data never arrives.
+    assert by_name["refcount"][1] == "VIP_SUCCESS"
+    assert by_name["refcount"][2] is False
+
+
+def test_e5_zerocopy_transfer(benchmark):
+    """Host time of one cached zero-copy 64 KiB transfer."""
+    cluster, s, r, src, dst = build_pair()
+    proto = RendezvousZeroCopyProtocol(use_cache=True)
+    s.task.write(src, b"q" * (64 * 1024))
+    proto.transfer(s, r, src, dst, 64 * 1024)   # warm the cache
+
+    def xfer():
+        res = proto.transfer(s, r, src, dst, 64 * 1024)
+        assert res.ok
+
+    benchmark(xfer)

@@ -1,0 +1,112 @@
+"""E7 — ablation: CPU availability during transfers (PIO/copy vs DMA).
+
+The collection's companion analysis ("CPU time available during data
+transfer", Trams & Rehm) is the premise of this paper: copy-based
+transfers burn the CPU for the whole transfer, DMA-based transfers
+leave it free — *provided* user-level DMA is safe, which requires
+reliable pinning.  This bench computes, from the simulated clock's
+per-category accounting, the fraction of each transfer during which the
+CPU is free, per protocol and message size.
+
+Expected shape: eager ≈ 0% CPU free at every size (every byte is
+copied); zero-copy grows towards ~100% free as the (fixed-cost)
+handshake and registration amortise — with a crossover in the small-KiB
+range, matching the companion paper's "surprisingly low" switch point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_series
+from repro.hw.physmem import PAGE_SIZE
+from repro.msg.endpoint import make_pair
+from repro.msg.protocols import (
+    EagerProtocol, PioProtocol, RendezvousZeroCopyProtocol,
+)
+from repro.via.machine import Cluster
+
+SIZES = [1 << k for k in range(9, 21, 2)]   # 512 B .. 1 MiB
+
+#: clock categories during which the host CPU is busy
+CPU_BUSY = {"cpu_copy", "via_cpu", "register", "syscall", "kiobuf",
+            "mlock", "fault", "mm", "via_setup", "rawio", "reclaim",
+            "pio"}
+#: categories during which hardware works and the CPU is free
+CPU_FREE = {"dma", "wire", "via_nic", "disk_io"}
+
+
+def cpu_free_fraction(clock, fn) -> tuple[float, int]:
+    """Run ``fn`` and return (fraction of its simulated time the CPU was
+    free, total simulated ns)."""
+    before = clock.categories()
+    with clock.measure() as span:
+        fn()
+    after = clock.categories()
+    busy = sum(after.get(c, 0) - before.get(c, 0) for c in CPU_BUSY)
+    free = sum(after.get(c, 0) - before.get(c, 0) for c in CPU_FREE)
+    total = span.elapsed_ns
+    assert abs((busy + free) - total) <= total * 0.05, \
+        "clock categories must account for (almost) all transfer time"
+    return (free / total if total else 0.0), total
+
+
+@pytest.fixture(scope="module")
+def overlap_series():
+    cluster = Cluster(2, num_frames=4096, backend="kiobuf")
+    s, r = make_pair(cluster)
+    pages = max(SIZES) // PAGE_SIZE + 2
+    src = s.task.mmap(pages)
+    s.task.touch_pages(src, pages)
+    dst = r.task.mmap(pages)
+    r.task.touch_pages(dst, pages)
+    rng = np.random.default_rng(0)
+    protocols = [PioProtocol(use_cache=True), EagerProtocol(),
+                 RendezvousZeroCopyProtocol(True)]
+    series: dict[str, list] = {p.name: [] for p in protocols}
+    for size in SIZES:
+        s.task.write(src, bytes(rng.integers(0, 256, size,
+                                             dtype=np.uint8)))
+        for proto in protocols:
+            frac, _ = cpu_free_fraction(
+                cluster.clock,
+                lambda p=proto: p.transfer(s, r, src, dst, size))
+            series[proto.name].append((size, frac * 100.0))
+    return series
+
+
+def test_e7_cpu_overlap(overlap_series, report):
+    if report("E7: CPU availability during transfer"):
+        print_series("E7 — % of transfer time the CPU is free",
+                     "bytes", overlap_series, ylabel="% CPU free")
+    pio = dict(overlap_series["pio"])
+    eager = dict(overlap_series["eager"])
+    zcopy = dict(overlap_series["rendezvous-zerocopy+cache"])
+    big = max(SIZES)
+    # PIO: the CPU drives every byte — essentially never free at size.
+    assert pio[big] < 10.0
+    # Zero-copy DMA frees most of the CPU for large transfers.
+    assert zcopy[big] > 75.0
+    # Ordering for large messages: DMA > eager (NIC does the wire work,
+    # CPU still copies) > PIO (CPU does everything).
+    assert zcopy[big] > eager[big] > pio[big]
+    # The DMA advantage appears already at small sizes — the companion
+    # paper's "surprisingly low" switch point.
+    crossover = [n for n in SIZES if zcopy[n] > pio[n]]
+    assert crossover and min(crossover) <= 8 * 1024
+
+
+def test_e7_measurement(benchmark):
+    """Host time of one overlap measurement."""
+    cluster = Cluster(2, num_frames=1024, backend="kiobuf")
+    s, r = make_pair(cluster)
+    src = s.task.mmap(20)
+    s.task.touch_pages(src, 20)
+    dst = r.task.mmap(20)
+    r.task.touch_pages(dst, 20)
+    s.task.write(src, b"x" * (64 * 1024))
+    proto = RendezvousZeroCopyProtocol(True)
+    proto.transfer(s, r, src, dst, 64 * 1024)   # warm cache
+
+    benchmark(lambda: cpu_free_fraction(
+        cluster.clock,
+        lambda: proto.transfer(s, r, src, dst, 64 * 1024)))

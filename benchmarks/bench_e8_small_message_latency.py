@@ -1,0 +1,70 @@
+"""E8 — small-message latency: PIO vs descriptor-based VIA.
+
+The collection's measurements (Seifert/Balkanski/Rehm, "Comparing MPI
+Performance of SCI and VIA"): SCI shared-memory PIO ≈ 2–8 µs,
+descriptor-based VIA ≈ tens of µs — "VIA communication is completely
+based on explicit descriptor processing.  Hence there is no way to
+achieve ultra-low latencies as it can be done in SCI by using simple
+memory references."
+
+This bench reports the simulated one-way latency of a 4-byte message
+per protocol and asserts that ordering: PIO (memory reference) ≪ eager
+(descriptor + bounce copy) < zero-copy (descriptor + handshake +
+registration).
+"""
+
+import pytest
+
+from repro.bench.harness import print_table
+from repro.msg.endpoint import make_pair
+from repro.msg.protocols import (
+    EagerProtocol, PioProtocol, RendezvousZeroCopyProtocol,
+)
+from repro.via.machine import Cluster
+
+TINY = 4
+
+
+@pytest.fixture(scope="module")
+def latency_rows():
+    cluster = Cluster(2, num_frames=1024, backend="kiobuf")
+    s, r = make_pair(cluster)
+    src = s.task.mmap(2)
+    s.task.touch_pages(src, 2)
+    dst = r.task.mmap(2)
+    r.task.touch_pages(dst, 2)
+    s.task.write(src, b"ping")
+    rows = []
+    for proto in (PioProtocol(use_cache=True), EagerProtocol(),
+                  RendezvousZeroCopyProtocol(use_cache=True)):
+        # Warm: first transfer pays one-time registrations.
+        proto.transfer(s, r, src, dst, TINY)
+        res = proto.transfer(s, r, src, dst, TINY)
+        assert res.ok
+        rows.append([proto.name, res.sim_ns / 1000.0])
+    return rows
+
+
+def test_e8_latency_ordering(latency_rows, report):
+    if report("E8: small-message latency"):
+        print_table("E8 — one-way latency of a 4-byte message (warm)",
+                    ["protocol", "simulated us"], latency_rows)
+    lat = {name: us for name, us in latency_rows}
+    # The magnitudes of the era: PIO a few us, descriptor paths tens.
+    assert lat["pio"] < 10.0
+    assert lat["eager"] > 3 * lat["pio"]
+    assert lat["rendezvous-zerocopy+cache"] > lat["eager"]
+
+
+def test_e8_pio_latency(benchmark):
+    """Host time of one warm PIO transfer."""
+    cluster = Cluster(2, num_frames=512, backend="kiobuf")
+    s, r = make_pair(cluster)
+    src = s.task.mmap(1)
+    s.task.touch_pages(src, 1)
+    dst = r.task.mmap(1)
+    r.task.touch_pages(dst, 1)
+    s.task.write(src, b"ping")
+    proto = PioProtocol(use_cache=True)
+    proto.transfer(s, r, src, dst, TINY)
+    benchmark(lambda: proto.transfer(s, r, src, dst, TINY))

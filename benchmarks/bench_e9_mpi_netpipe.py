@@ -1,0 +1,103 @@
+"""E9 — MPI-level NetPIPE sweep: latency and bandwidth through the full
+stack (matching engine + envelope protocol + VIA + kernel).
+
+The collection's evaluation methodology ("NetPIPE ... a ping-pong loop.
+A message of a given size is sent out.  As soon as the peer receives
+it, it sends a message of equal size back") applied to our MPI layer.
+
+Expected shapes:
+
+* a visible protocol kink at the eager/rendezvous threshold (the
+  "kink at 4 KB ... caused by switching from eager to long protocol");
+* rendezvous asymptote near the wire's ≈90 MB/s;
+* small-message MPI latency in the tens of µs (the cLAN MPI numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_series, print_table
+from repro.hw.physmem import PAGE_SIZE
+from repro.mpi import MpiWorld
+
+SIZES = [1 << k for k in range(6, 21)]   # 64 B .. 1 MiB
+THRESHOLD = 16 * 1024
+
+
+def build_world() -> tuple[MpiWorld, int, int, int, int]:
+    world = MpiWorld(2, num_frames=4096, eager_threshold=THRESHOLD)
+    r0, r1 = world.rank(0), world.rank(1)
+    pages = max(SIZES) // PAGE_SIZE + 2
+    a_tx = r0.task.mmap(pages)
+    r0.task.touch_pages(a_tx, pages)
+    a_rx = r0.task.mmap(pages)
+    r0.task.touch_pages(a_rx, pages)
+    b_tx = r1.task.mmap(pages)
+    r1.task.touch_pages(b_tx, pages)
+    b_rx = r1.task.mmap(pages)
+    r1.task.touch_pages(b_rx, pages)
+    return world, a_tx, a_rx, b_tx, b_rx
+
+
+def ping_pong_ns(world: MpiWorld, a_tx: int, a_rx: int, b_tx: int,
+                 b_rx: int, size: int) -> int:
+    """One warm round trip; returns simulated ns."""
+    r0, r1 = world.rank(0), world.rank(1)
+    with world.clock.measure() as span:
+        r0.isend(1, 1, a_tx, size)
+        r1.recv(0, 1, b_rx, size)
+        r1.isend(0, 2, b_tx, size)
+        r0.recv(1, 2, a_rx, size)
+    return span.elapsed_ns
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    world, a_tx, a_rx, b_tx, b_rx = build_world()
+    rng = np.random.default_rng(0)
+    points = []
+    for size in SIZES:
+        payload = bytes(rng.integers(0, 256, size, dtype=np.uint8))
+        world.rank(0).task.write(a_tx, payload)
+        world.rank(1).task.write(b_tx, payload)
+        ping_pong_ns(world, a_tx, a_rx, b_tx, b_rx, size)   # warm
+        rt = ping_pong_ns(world, a_tx, a_rx, b_tx, b_rx, size)
+        one_way_ns = rt / 2
+        bw = size / (one_way_ns / 1e9) / 1e6
+        points.append((size, one_way_ns / 1000.0, bw))
+        # Verify payload integrity at every size.
+        assert world.rank(1).task.read(b_rx, min(size, 256)) == \
+            payload[:min(size, 256)]
+    return points
+
+
+def test_e9_bandwidth_curve(sweep, report):
+    if report("E9: MPI NetPIPE sweep"):
+        print_series(
+            "E9a — MPI one-way bandwidth vs message size "
+            f"(eager/rendezvous switch at {THRESHOLD} B)",
+            "bytes", {"mpi-kiobuf": [(s, bw) for s, _, bw in sweep]},
+            ylabel="MB/s")
+        print_table("E9b — MPI one-way latency",
+                    ["bytes", "simulated us"],
+                    [[s, f"{us:.1f}"] for s, us, _ in sweep[:6]])
+    by_size = {s: bw for s, _, bw in sweep}
+    # Monotone growth toward the wire asymptote.
+    assert by_size[1 << 20] > 60.0
+    assert by_size[1 << 20] < 95.0
+    # Protocol switch: bandwidth jumps across the threshold.
+    below = by_size[8 * 1024]
+    above = by_size[64 * 1024]
+    assert above > 1.3 * below
+    # Era-plausible small-message latency: tens of microseconds.
+    lat64 = next(us for s, us, _ in sweep if s == 64)
+    assert 5.0 < lat64 < 200.0
+
+
+def test_e9_ping_pong(benchmark):
+    """Host time of one warm 4 KiB MPI ping-pong."""
+    world, a_tx, a_rx, b_tx, b_rx = build_world()
+    world.rank(0).task.write(a_tx, b"p" * 4096)
+    world.rank(1).task.write(b_tx, b"p" * 4096)
+    ping_pong_ns(world, a_tx, a_rx, b_tx, b_rx, 4096)
+    benchmark(lambda: ping_pong_ns(world, a_tx, a_rx, b_tx, b_rx, 4096))

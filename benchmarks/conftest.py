@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark targets.
+
+Each ``bench_e*.py`` regenerates one experiment of EXPERIMENTS.md: it
+prints the experiment's table/series (simulated-time numbers, which are
+deterministic) and registers one representative operation with
+pytest-benchmark (host-time numbers, which measure the simulator
+itself).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a section header once per experiment module."""
+    printed: set[str] = set()
+
+    def _report(title: str) -> bool:
+        if title in printed:
+            return False
+        printed.add(title)
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+        return True
+
+    return _report

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""2D Jacobi heat diffusion with halo exchange — the FEM-style workload
+the SFB 393 collection is built around ("Numerical Simulation on
+Massively Parallel Computers": the physicists' codes are exactly this
+shape).
+
+An N x N grid is split into row strips across 4 ranks.  Each iteration
+the ranks exchange boundary ("halo") rows over **persistent MPI
+requests** — the pre-registered, kiobuf-pinned buffers the paper's
+mechanism makes safe — then apply the Jacobi stencil.  The distributed
+result is verified bit-for-bit against a single-process reference.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.mpi import MpiWorld
+
+N = 32            # global grid (N x N, float64)
+RANKS = 4
+ITERATIONS = 25
+ROW_BYTES = N * 8
+
+
+def reference(grid: np.ndarray, iterations: int) -> np.ndarray:
+    g = grid.copy()
+    for _ in range(iterations):
+        new = g.copy()
+        new[1:-1, 1:-1] = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1]
+                                  + g[1:-1, :-2] + g[1:-1, 2:])
+        g = new
+    return g
+
+
+def main() -> None:
+    world = MpiWorld(RANKS, num_frames=2048, eager_threshold=4 * 1024)
+    rng = np.random.default_rng(7)
+    grid = rng.random((N, N))
+    grid[0, :] = grid[-1, :] = grid[:, 0] = grid[:, -1] = 1.0
+
+    rows_per = N // RANKS
+    # Each rank stores its strip plus two ghost rows in simulated memory.
+    strip_vas = []
+    for i, rank in enumerate(world.ranks):
+        va = rank.task.mmap(((rows_per + 2) * ROW_BYTES) // 4096 + 1)
+        rank.task.touch_pages(va, ((rows_per + 2) * ROW_BYTES) // 4096 + 1)
+        local = np.zeros((rows_per + 2, N))
+        local[1:-1] = grid[i * rows_per:(i + 1) * rows_per]
+        rank.task.write(va, local.tobytes())
+        strip_vas.append(va)
+
+    # Persistent halo channels: down-going and up-going per boundary.
+    HALO_DOWN, HALO_UP = 101, 102
+    sends, recvs = [], []
+    for i, rank in enumerate(world.ranks):
+        va = strip_vas[i]
+        chans = {}
+        if i + 1 < RANKS:   # exchange with the rank below
+            chans["send_down"] = rank.send_init(
+                i + 1, HALO_DOWN, va + rows_per * ROW_BYTES, ROW_BYTES)
+            chans["recv_up"] = rank.recv_init(
+                i + 1, HALO_UP, va + (rows_per + 1) * ROW_BYTES,
+                ROW_BYTES)
+        if i > 0:           # exchange with the rank above
+            chans["send_up"] = rank.send_init(
+                i - 1, HALO_UP, va + 1 * ROW_BYTES, ROW_BYTES)
+            chans["recv_down"] = rank.recv_init(
+                i - 1, HALO_DOWN, va + 0 * ROW_BYTES, ROW_BYTES)
+        sends.append(chans)
+        recvs.append(chans)
+
+    for _ in range(ITERATIONS):
+        # 1. halo exchange (deterministic schedule over all boundaries)
+        for i in range(RANKS - 1):
+            sends[i]["send_down"].start()
+            recvs[i + 1]["recv_down"].start()
+            recvs[i + 1]["recv_down"].wait()
+            sends[i]["send_down"].wait()
+            sends[i + 1]["send_up"].start()
+            recvs[i]["recv_up"].start()
+            recvs[i]["recv_up"].wait()
+            sends[i + 1]["send_up"].wait()
+        # 2. Jacobi update on each strip
+        for i, rank in enumerate(world.ranks):
+            va = strip_vas[i]
+            local = np.frombuffer(
+                rank.task.read(va, (rows_per + 2) * ROW_BYTES)
+            ).reshape(rows_per + 2, N).copy()
+            new = local.copy()
+            lo = 1 if i > 0 else 2                    # global row 0 fixed
+            hi = rows_per + 1 if i < RANKS - 1 else rows_per
+            new[lo:hi, 1:-1] = 0.25 * (
+                local[lo - 1:hi - 1, 1:-1] + local[lo + 1:hi + 1, 1:-1]
+                + local[lo:hi, :-2] + local[lo:hi, 2:])
+            rank.task.write(va, new.tobytes())
+
+    # Gather and verify against the reference.
+    result = np.vstack([
+        np.frombuffer(world.ranks[i].task.read(
+            strip_vas[i] + ROW_BYTES, rows_per * ROW_BYTES)
+        ).reshape(rows_per, N)
+        for i in range(RANKS)])
+    expected = reference(grid, ITERATIONS)
+    ok = np.array_equal(result, expected)
+    print(f"grid {N}x{N}, {RANKS} ranks, {ITERATIONS} Jacobi iterations")
+    print(f"halo messages: "
+          f"{sum(r.eager_sent + r.rendezvous_sent for r in world.ranks)}")
+    print(f"distributed result bit-identical to reference: {ok}")
+    print(f"simulated time: {world.clock.now_ns / 1e6:.2f} ms")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""The paper's Section 3.1 experiment, live.
+
+Runs the 8-step locktest against all five locking backends and prints
+the survival matrix: the refcount-only approach (Berkeley-VIA/M-VIA)
+loses every page under memory pressure — its registered physical
+addresses go stale and the simulated NIC DMA writes into orphaned frames
+the process can never see — while the VMA-, pageflag-, and kiobuf-based
+mechanisms keep every translation valid.
+
+Run:  python examples/locktest_swapping.py
+"""
+
+from repro.bench.harness import fmt_ns, print_table
+from repro.core.locktest import run_matrix
+from repro.via.locking import BACKENDS
+
+
+def main() -> None:
+    results = run_matrix(sorted(BACKENDS), buffer_pages=64,
+                         num_frames=512)
+    print_table(
+        "Locktest survival matrix (Sec. 3.1, 64-page buffer, RAM 2 MiB)",
+        ["backend", "pages moved", "DMA visible", "data intact",
+         "orphans", "stale TPT", "reg time", "survived"],
+        [[r.backend, f"{r.pages_relocated}/{r.npages}",
+          r.dma_write_visible, r.process_data_intact,
+          r.orphan_frames_during, r.stale_tpt_entries,
+          fmt_ns(r.register_ns), r.registration_survived]
+         for r in results])
+
+    failing = [r for r in results if not r.registration_survived]
+    print(f"\n{len(failing)} of {len(results)} mechanisms fail under "
+          f"pressure: {', '.join(r.backend for r in failing)}")
+    print("As the paper observes, the failure is silent: the refcount "
+          "process's own data survives (swap round-trip), only the "
+          "NIC's translations rot — communication corrupts, the system "
+          "stays up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Parallel bucket sort over the MPI layer — an IS-style workload.
+
+The NAS Integer Sort kernel (which the collection's evaluation paper
+runs over SCI and VIA MPI) is dominated by `allreduce` + `alltoallv`
+traffic.  This example distributes random 16-bit keys across ranks,
+computes global bucket boundaries with an allreduce histogram, exchanges
+keys with alltoallv, sorts locally, and verifies the global order —
+every byte of it travelling through the simulated VIA stack with
+kiobuf-pinned registrations.
+
+Run:  python examples/parallel_sort.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import print_table
+from repro.mpi import MpiWorld
+
+N_RANKS = 4
+KEYS_PER_RANK = 2048
+KEY_DTYPE = np.uint16
+
+
+def main() -> None:
+    world = MpiWorld(N_RANKS, num_frames=4096,
+                     eager_threshold=8 * 1024)
+    rng = np.random.default_rng(42)
+
+    # Each rank owns a shard of random keys in its own simulated memory.
+    keys = [rng.integers(0, 2**16, KEYS_PER_RANK, dtype=KEY_DTYPE)
+            for _ in range(N_RANKS)]
+    key_vas = []
+    for r, shard in zip(world.ranks, keys):
+        va = r.task.mmap(64)
+        r.task.touch_pages(va, 64)
+        r.task.write(va, shard.tobytes())
+        key_vas.append(va)
+
+    # --- bucket boundaries: uniform split of the key space -------------
+    # (The real IS uses a sampled histogram + allreduce; we do the
+    # allreduce over per-bucket counts to size the exchange.)
+    edges = np.linspace(0, 2**16, N_RANKS + 1).astype(np.int64)
+    counts = []
+    for shard in keys:
+        c, _ = np.histogram(shard, bins=edges)
+        counts.append(c.astype(np.float64))
+    hist_vas = [r.task.mmap(2) for r in world.ranks]
+    out_vas = [r.task.mmap(2) for r in world.ranks]
+    for r, va, o, c in zip(world.ranks, hist_vas, out_vas, counts):
+        r.task.touch_pages(va, 2)
+        r.task.touch_pages(o, 2)
+        r.task.write(va, c.tobytes())
+    world.allreduce(hist_vas, out_vas, N_RANKS, op="sum")
+    total_per_bucket = np.frombuffer(
+        world.ranks[0].task.read(out_vas[0], N_RANKS * 8))
+
+    # --- pack per-destination slices and exchange with alltoallv --------
+    send_vas, send_counts = [], []
+    for i, (r, shard) in enumerate(zip(world.ranks, keys)):
+        order = np.argsort(np.digitize(shard, edges[1:-1]))
+        packed = shard[order]
+        va = r.task.mmap(64)
+        r.task.touch_pages(va, 64)
+        r.task.write(va, packed.tobytes())
+        send_vas.append(va)
+        c, _ = np.histogram(shard, bins=edges)
+        send_counts.append([int(x) * KEY_DTYPE().itemsize for x in c])
+    recv_vas = []
+    for r in world.ranks:
+        va = r.task.mmap(128)
+        r.task.touch_pages(va, 128)
+        recv_vas.append(va)
+    recv_counts = world.alltoallv(send_vas, send_counts, recv_vas)
+
+    # --- local sort + global verification --------------------------------
+    sorted_shards = []
+    for j, r in enumerate(world.ranks):
+        nbytes = sum(recv_counts[j])
+        raw = r.task.read(recv_vas[j], nbytes)
+        shard = np.sort(np.frombuffer(raw, dtype=KEY_DTYPE))
+        sorted_shards.append(shard)
+        assert len(shard) == int(total_per_bucket[j])
+
+    # Global order: each shard sorted, boundaries respected.
+    all_sorted = np.concatenate(sorted_shards)
+    reference = np.sort(np.concatenate(keys))
+    ok = bool(np.array_equal(all_sorted, reference))
+
+    rows = [[j, len(s),
+             int(s[0]) if len(s) else "-",
+             int(s[-1]) if len(s) else "-"]
+            for j, s in enumerate(sorted_shards)]
+    print_table(
+        f"Parallel bucket sort: {N_RANKS} ranks x {KEYS_PER_RANK} keys",
+        ["rank", "keys after exchange", "min", "max"], rows)
+    print(f"\nglobally sorted: {ok}")
+    print(f"simulated time: {world.clock.now_ns / 1e6:.2f} ms, "
+          f"eager msgs: {sum(r.eager_sent for r in world.ranks)}, "
+          f"rendezvous msgs: "
+          f"{sum(r.rendezvous_sent for r in world.ranks)}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

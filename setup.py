@@ -1,0 +1,7 @@
+"""setup.py shim — enables legacy editable installs in offline
+environments lacking the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

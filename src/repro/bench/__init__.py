@@ -1,0 +1,8 @@
+"""Benchmark/report harness: table and series printers shared by the
+``benchmarks/`` targets and the examples."""
+
+from repro.bench.harness import (
+    fmt_bool, fmt_ns, print_series, print_table,
+)
+
+__all__ = ["fmt_bool", "fmt_ns", "print_series", "print_table"]

@@ -1,0 +1,136 @@
+"""Consistency audits.
+
+The hardware cannot detect a stale TPT ("the NIC will use wrong memory
+addresses for its DMA operations.  Communication fails, the system
+stability, however, is not affected") — so the *experimenter* needs an
+oracle.  These audits are that oracle: they compare the NIC's recorded
+translations against the owning process's live page tables, and check
+the kernel's own accounting invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PageAccountingError
+from repro.hw.physmem import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.via.kernel_agent import KernelAgent
+
+
+@dataclass(frozen=True)
+class StaleEntry:
+    """One TPT page entry that no longer matches the owner's mapping."""
+
+    handle: int
+    pid: int
+    vpn: int
+    tpt_frame: int
+    actual_frame: int | None    #: None ⇔ page not resident
+
+
+def audit_tpt_consistency(agent: "KernelAgent") -> list[StaleEntry]:
+    """Compare every live registration's recorded frames against the
+    owning task's current page table.
+
+    Returns the stale entries (empty ⇔ the NIC and the MMU agree — the
+    correctness criterion for a locking mechanism).
+    """
+    kernel = agent.kernel
+    stale: list[StaleEntry] = []
+    for reg in agent.registrations.values():
+        try:
+            task = kernel.find_task(reg.pid)
+        except Exception:
+            continue   # owner exited; registration is dangling by definition
+        first_vpn = reg.region.first_vpn
+        for i, tpt_frame in enumerate(reg.region.frames):
+            vpn = first_vpn + i
+            pte = task.page_table.lookup(vpn)
+            actual = pte.frame if (pte is not None and pte.present) else None
+            if actual != tpt_frame:
+                stale.append(StaleEntry(
+                    handle=reg.handle, pid=reg.pid, vpn=vpn,
+                    tpt_frame=tpt_frame, actual_frame=actual))
+    return stale
+
+
+def audit_kernel_invariants(kernel: "Kernel") -> None:
+    """Raise :class:`~repro.errors.PageAccountingError` if any kernel
+    accounting invariant is violated.
+
+    Invariants:
+
+    1. the free list is well-formed (no duplicates, refcount 0),
+    2. no present PTE maps a free or reserved-for-kernel frame,
+    3. a frame mapped by a present PTE has refcount ≥ 1,
+    4. every swap slot is referenced by at most one PTE,
+    5. pinned frames are in use (pin without reference is impossible).
+    """
+    kernel.pagemap.check_free_list()
+
+    slot_owner: dict[int, tuple[int, int]] = {}
+    for task in kernel.tasks:
+        for vpn in sorted(task.page_table._entries):
+            pte = task.page_table.lookup(vpn)
+            if pte.present:
+                pd = kernel.pagemap.page(pte.frame)
+                if pd.count < 1:
+                    raise PageAccountingError(
+                        f"pid {task.pid} vpn {vpn} maps free frame "
+                        f"{pte.frame}")
+                if pd.tag == "kernel-image":
+                    raise PageAccountingError(
+                        f"pid {task.pid} vpn {vpn} maps kernel frame "
+                        f"{pte.frame}")
+            elif pte.swapped:
+                if pte.swap_slot in slot_owner:
+                    other = slot_owner[pte.swap_slot]
+                    raise PageAccountingError(
+                        f"swap slot {pte.swap_slot} referenced by both "
+                        f"{other} and {(task.pid, vpn)}")
+                slot_owner[pte.swap_slot] = (task.pid, vpn)
+
+    for pd in kernel.pagemap:
+        if pd.pin_count > 0 and pd.count == 0:
+            raise PageAccountingError(
+                f"frame {pd.frame} pinned ({pd.pin_count}) but free")
+        if pd.pin_count < 0 or pd.count < 0:
+            raise PageAccountingError(
+                f"frame {pd.frame} has negative counters")
+
+
+def frame_ownership_summary(kernel: "Kernel") -> dict[str, int]:
+    """Classify every frame for reports: free / kernel / mapped /
+    page-cache / orphan / driver-held."""
+    summary = {"free": 0, "kernel": 0, "mapped": 0, "page_cache": 0,
+               "orphan": 0, "other": 0}
+    for pd in kernel.pagemap:
+        if pd.count == 0:
+            summary["free"] += 1
+        elif pd.reserved and pd.tag == "kernel-image":
+            summary["kernel"] += 1
+        elif pd.in_page_cache:
+            summary["page_cache"] += 1
+        elif pd.mapping is not None:
+            summary["mapped"] += 1
+        elif pd.tag == "orphan":
+            summary["orphan"] += 1
+        else:
+            summary["other"] += 1
+    return summary
+
+
+def virt_phys_map(task, va: int, npages: int) -> list[tuple[int, int | None]]:
+    """``(vpn, frame-or-None)`` pairs over a range — the probe the
+    experiment runs in steps 2 and 6."""
+    base_vpn = va // PAGE_SIZE
+    out = []
+    for i in range(npages):
+        pte = task.page_table.lookup(base_vpn + i)
+        out.append((base_vpn + i,
+                    pte.frame if pte is not None and pte.present else None))
+    return out

@@ -1,0 +1,185 @@
+"""Registration cache.
+
+Section 1: dynamic buffer registration "is actually a contradiction to
+the aim of the VI Architecture, namely to remove operating system calls
+from the communication path, but it is the only way to achieve
+zero-copy.  Furthermore, the bad effects can be remedied by 'caching'
+registered regions, i.e. by keeping them registered as long as
+possible."
+
+The cache keys on page-aligned ranges.  ``acquire`` returns a live
+registration for the covering range — a cache *hit* costs no kernel
+call; a *miss* registers the aligned range.  ``release`` only drops the
+caller's use; the registration itself stays cached (pinned!) until
+capacity pressure evicts an unused entry, LRU-first.
+
+Because entries stay registered while cached, the cache **requires** a
+backend that supports multiple registration safely — with mlock_naive or
+pageflags semantics a second user of an overlapping range would be
+silently unprotected.  (That interaction is measured in benchmark E5.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.kernel_agent import Registration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+    from repro.via.kernel_agent import KernelAgent
+
+
+def aligned_range(va: int, nbytes: int) -> tuple[int, int]:
+    """Page-align ``[va, va+nbytes)``; returns ``(base_va, nbytes)``."""
+    start = (va // PAGE_SIZE) * PAGE_SIZE
+    end = ((va + nbytes - 1) // PAGE_SIZE + 1) * PAGE_SIZE
+    return start, end - start
+
+
+@dataclass
+class CacheEntry:
+    """One cached registration."""
+
+    registration: Registration
+    users: int = 0           #: live acquisitions
+    last_use: int = 0        #: LRU stamp
+    hits: int = 0
+    rdma_write: bool = False
+    rdma_read: bool = False
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        r = self.registration
+        return (r.pid, r.va, r.nbytes)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    capacity_failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RegistrationCache:
+    """LRU cache of registrations for one (agent, task) pair."""
+
+    def __init__(self, agent: "KernelAgent", task: "Task",
+                 max_pages: int | None = None) -> None:
+        self.agent = agent
+        self.task = task
+        #: page budget; None = bounded only by the TPT
+        self.max_pages = max_pages
+        self._entries: dict[tuple[int, int, int], CacheEntry] = {}
+        self._tick = 0
+        self.stats = CacheStats()
+
+    # -- internals -----------------------------------------------------------
+
+    def _pages_cached(self) -> int:
+        return sum(e.registration.region.npages
+                   for e in self._entries.values())
+
+    def _find_covering(self, va: int, nbytes: int,
+                       rdma_write: bool, rdma_read: bool
+                       ) -> CacheEntry | None:
+        """A cached entry whose range covers the request and whose RDMA
+        enables are at least as permissive."""
+        for entry in self._entries.values():
+            r = entry.registration
+            if (r.va <= va and va + nbytes <= r.va + r.nbytes
+                    and (not rdma_write or entry.rdma_write)
+                    and (not rdma_read or entry.rdma_read)):
+                return entry
+        return None
+
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-used unused entry; False if none."""
+        candidates = [e for e in self._entries.values() if e.users == 0]
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda e: e.last_use)
+        del self._entries[victim.key]
+        self.agent.deregister_memory(victim.registration.handle)
+        self.stats.evictions += 1
+        return True
+
+    # -- interface -------------------------------------------------------------
+
+    def acquire(self, va: int, nbytes: int, rdma_write: bool = False,
+                rdma_read: bool = False) -> Registration:
+        """Get a registration covering ``[va, va+nbytes)``.
+
+        Pair every acquire with a :meth:`release` of the same range.
+        """
+        self._tick += 1
+        entry = self._find_covering(va, nbytes, rdma_write, rdma_read)
+        if entry is not None:
+            entry.users += 1
+            entry.hits += 1
+            entry.last_use = self._tick
+            self.stats.hits += 1
+            return entry.registration
+
+        self.stats.misses += 1
+        base, length = aligned_range(va, nbytes)
+        want_pages = length // PAGE_SIZE
+        if self.max_pages is not None:
+            while (self._pages_cached() + want_pages > self.max_pages
+                   and self._evict_one()):
+                pass
+        while True:
+            try:
+                reg = self.agent.register_memory(
+                    self.task, base, length,
+                    rdma_write=rdma_write, rdma_read=rdma_read)
+                break
+            except ViaError as exc:
+                # TPT full: evict and retry; give up when nothing is
+                # evictable.
+                if exc.status != "VIP_ERROR_RESOURCE" or \
+                        not self._evict_one():
+                    self.stats.capacity_failures += 1
+                    raise
+        entry = CacheEntry(registration=reg, users=1, last_use=self._tick,
+                           rdma_write=rdma_write, rdma_read=rdma_read)
+        self._entries[entry.key] = entry
+        return reg
+
+    def release(self, va: int, nbytes: int) -> None:
+        """Drop one use of the covering entry (stays cached)."""
+        for entry in self._entries.values():
+            r = entry.registration
+            if (r.va <= va and va + nbytes <= r.va + r.nbytes
+                    and entry.users > 0):
+                entry.users -= 1
+                return
+        raise ViaError(f"release of unacquired range [{va}, {va + nbytes})")
+
+    def flush(self) -> int:
+        """Deregister every unused entry; returns how many were dropped."""
+        dropped = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.users == 0:
+                del self._entries[key]
+                self.agent.deregister_memory(entry.registration.handle)
+                dropped += 1
+        return dropped
+
+    @property
+    def cached_regions(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cached_pages(self) -> int:
+        return self._pages_cached()

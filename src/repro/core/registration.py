@@ -1,0 +1,153 @@
+"""MemoryRegistrar — the paper's mechanism packaged as a library.
+
+This is the layer a communication library (MPI, a VIPL provider) would
+link against.  It wraps the Kernel Agent with:
+
+* **leases** — context-managed registrations that cannot leak,
+* **first-class multiple registration** — per-(pid, page) pin accounting
+  is observable, so callers can assert the property the VIA spec
+  requires and the paper's mechanism guarantees,
+* **self-auditing** — :meth:`audit` confirms the NIC's translations
+  still match the owner's page tables (the criterion every experiment
+  in this reproduction is judged by).
+
+By default the registrar insists on a backend that is actually reliable
+(the point of the paper); pass ``allow_unreliable=True`` to study the
+broken ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.audit import StaleEntry, audit_tpt_consistency
+from repro.errors import InvalidArgument
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.kernel_agent import Registration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+    from repro.via.machine import Machine
+
+
+@dataclass
+class RegionLease:
+    """A live registration that releases itself on context exit."""
+
+    registrar: "MemoryRegistrar"
+    registration: Registration
+
+    @property
+    def handle(self) -> int:
+        return self.registration.handle
+
+    @property
+    def va(self) -> int:
+        return self.registration.va
+
+    @property
+    def nbytes(self) -> int:
+        return self.registration.nbytes
+
+    @property
+    def frames(self) -> list[int]:
+        return list(self.registration.region.frames)
+
+    def release(self) -> None:
+        """Deregister (idempotent)."""
+        self.registrar._release(self)
+
+    def __enter__(self) -> "RegionLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class MemoryRegistrar:
+    """High-level registration manager bound to one machine."""
+
+    def __init__(self, machine: "Machine",
+                 allow_unreliable: bool = False) -> None:
+        if not machine.backend.reliable and not allow_unreliable:
+            raise InvalidArgument(
+                f"backend {machine.backend.name!r} does not reliably lock "
+                f"memory; pass allow_unreliable=True to study it anyway")
+        self.machine = machine
+        self.agent = machine.agent
+        self._live: dict[int, RegionLease] = {}
+        self.registrations_total = 0
+        self.deregistrations_total = 0
+
+    # -- leases ---------------------------------------------------------------
+
+    def register(self, task: "Task", va: int, nbytes: int,
+                 rdma_write: bool = False,
+                 rdma_read: bool = False) -> RegionLease:
+        """Register ``[va, va+nbytes)``; returns a context-managed lease.
+
+        The same range may be registered any number of times; with a
+        conforming backend each lease holds an independent pin.
+        """
+        self.agent.open_nic(task)   # idempotent; allocates the prot tag
+        reg = self.agent.register_memory(task, va, nbytes,
+                                         rdma_write=rdma_write,
+                                         rdma_read=rdma_read)
+        lease = RegionLease(self, reg)
+        self._live[reg.handle] = lease
+        self.registrations_total += 1
+        return lease
+
+    def _release(self, lease: RegionLease) -> None:
+        if lease.handle not in self._live:
+            return   # already released; leases are idempotent
+        del self._live[lease.handle]
+        self.agent.deregister_memory(lease.handle)
+        self.deregistrations_total += 1
+
+    def release_all(self) -> int:
+        """Release every live lease (teardown); returns the count."""
+        leases = list(self._live.values())
+        for lease in leases:
+            lease.release()
+        return len(leases)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live leases."""
+        return len(self._live)
+
+    def pin_count(self, task: "Task", va: int) -> int:
+        """Kernel pin count of the page backing ``va`` (0 if the page is
+        not resident)."""
+        vpn = va // PAGE_SIZE
+        pte = task.page_table.lookup(vpn)
+        if pte is None or not pte.present:
+            return 0
+        return self.machine.kernel.pagemap.page(pte.frame).pin_count
+
+    def registration_count(self, task: "Task", va: int, nbytes: int) -> int:
+        """How many live leases fully cover ``[va, va+nbytes)``."""
+        return sum(
+            1 for lease in self._live.values()
+            if lease.registration.pid == task.pid
+            and lease.va <= va
+            and va + nbytes <= lease.va + lease.nbytes)
+
+    def audit(self) -> list[StaleEntry]:
+        """Stale TPT entries across all live registrations (must be empty
+        for a reliable backend, under any memory pressure)."""
+        return audit_tpt_consistency(self.agent)
+
+    def stats(self) -> dict:
+        """Counters for reports."""
+        return {
+            "live": self.live_count,
+            "registrations_total": self.registrations_total,
+            "deregistrations_total": self.deregistrations_total,
+            "tpt_entries_used": self.machine.nic.tpt.entries_used,
+            "tpt_entries_free": self.machine.nic.tpt.entries_free,
+        }

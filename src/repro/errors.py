@@ -1,0 +1,150 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy mirrors the layering of the simulated system:
+
+* :class:`ReproError` — root of everything raised by this package.
+* :class:`HardwareError` — physical-memory / swap-device / DMA faults.
+* :class:`KernelError` — simulated-kernel failures (bad syscall arguments,
+  resource exhaustion, permission checks).
+* :class:`ViaError` — VIA-layer failures; carries a ``VIP_*`` status code so
+  the user-agent API can report errors the way the VIPL specification does.
+
+Keeping hardware, kernel, and VIA failures in distinct branches lets tests
+assert precisely *which layer* rejected an operation — an important part of
+reproducing the paper's protection arguments (e.g. a DMA protection-tag
+mismatch must surface as a :class:`ProtectionError`, never as a Python
+``IndexError`` leaking from the frame array).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware layer
+# ---------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware failures."""
+
+
+class BadPhysicalAddress(HardwareError):
+    """A physical (frame, offset) address is outside installed memory."""
+
+
+class OutOfMemory(HardwareError):
+    """No free page frame is available and reclaim could not make one."""
+
+
+class SwapFull(HardwareError):
+    """The swap device has no free slots left."""
+
+
+class BadSwapSlot(HardwareError):
+    """A swap slot index is invalid or not currently in use."""
+
+
+class DMAFault(HardwareError):
+    """A DMA transfer touched an invalid physical address."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel layer
+# ---------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel failures."""
+
+
+class SegmentationFault(KernelError):
+    """A task touched a virtual address with no VMA, or violated VMA
+    protection bits."""
+
+
+class InvalidArgument(KernelError):
+    """EINVAL — a syscall was handed arguments it cannot act on."""
+
+
+class PermissionDenied(KernelError):
+    """EPERM — the calling task lacks the capability for this operation
+    (e.g. ``mlock`` without ``CAP_IPC_LOCK``)."""
+
+
+class PageAccountingError(KernelError):
+    """An internal page-accounting invariant was violated (refcount
+    underflow, freeing a mapped page, unlocking an unlocked page...).
+
+    The real kernel would oops; the simulator raises so tests can detect
+    the corruption the paper warns about (Giganet's unconditional flag
+    clears)."""
+
+
+class KiobufError(KernelError):
+    """A kiobuf operation failed (unmapping twice, mapping an unfaultable
+    range, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# VIA layer
+# ---------------------------------------------------------------------------
+
+class ViaError(ReproError):
+    """Base class for VIA-layer failures.
+
+    ``status`` carries the ``VIP_*`` code from :mod:`repro.via.constants`.
+    """
+
+    def __init__(self, message: str, status: str = "VIP_ERROR"):
+        super().__init__(message)
+        self.status = status
+
+
+class ProtectionError(ViaError):
+    """A memory access failed the protection-tag or RDMA-enable check."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_PROTECTION_ERROR")
+
+
+class NotRegistered(ViaError):
+    """A descriptor referenced memory that is not registered in the TPT."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_INVALID_MEMORY")
+
+
+class DescriptorError(ViaError):
+    """A malformed descriptor was posted."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_INVALID_PARAMETER")
+
+
+class ConnectionError_(ViaError):
+    """VI connection management failed (already connected, peer missing,
+    reliability-mode mismatch...)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_INVALID_STATE")
+
+
+class QueueEmpty(ViaError):
+    """A receive arrived (or a poll was attempted) with no posted
+    descriptor.  Under ``RELIABLE_DELIVERY`` the VIA spec breaks the
+    connection in this situation."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_NOT_DONE")
+
+
+class StaleTranslationError(ViaError):
+    """Raised only by audit tooling: a TPT entry points at a frame the
+    owning process no longer maps.  The *hardware* never raises this —
+    that silence is exactly the paper's point — but
+    :mod:`repro.core.audit` uses it to report the corruption."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status="VIP_ERROR_STALE_TPT")

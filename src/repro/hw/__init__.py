@@ -1,0 +1,7 @@
+"""Simulated hardware: physical memory, swap device, DMA engine."""
+
+from repro.hw.physmem import PhysicalMemory, PAGE_SIZE
+from repro.hw.swapdev import SwapDevice
+from repro.hw.dma import DMAEngine
+
+__all__ = ["PhysicalMemory", "PAGE_SIZE", "SwapDevice", "DMAEngine"]

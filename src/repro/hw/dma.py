@@ -1,0 +1,103 @@
+"""DMA engine: bus-master access to physical memory.
+
+The DMA engine is how the NIC (and step 5 of the paper's locktest
+experiment, where the Kernel Agent "writes a certain value to the first
+page of the block using the physical address obtained during the
+registration ... simulating a DMA operation of the NIC") touches memory.
+
+Crucially it addresses memory **only by physical address** and performs
+**no validity checks beyond "is this installed RAM"** — exactly like real
+bus-master hardware.  If the kernel has moved a page, the DMA engine
+happily reads/writes the orphaned frame.  That silent success is the bug
+the paper demonstrates; the simulator must not be "helpful" here.
+"""
+
+from __future__ import annotations
+
+from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import Trace
+
+
+class DMAEngine:
+    """Bus-master engine bound to one :class:`PhysicalMemory`.
+
+    Transfers may span frame boundaries; the engine splits them into
+    per-frame bursts internally (physical memory is contiguous from the
+    bus's point of view, but :class:`PhysicalMemory` enforces per-frame
+    spans).
+    """
+
+    def __init__(self, phys: PhysicalMemory, clock: SimClock,
+                 costs: CostModel, trace: Trace | None = None,
+                 name: str = "dma") -> None:
+        self._phys = phys
+        self._clock = clock
+        self._costs = costs
+        self._trace = trace
+        self.name = name
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- scatter helpers ----------------------------------------------------
+
+    @staticmethod
+    def _bursts(phys_addr: int, length: int):
+        """Yield ``(frame, offset, n)`` bursts covering the flat span."""
+        remaining = length
+        addr = phys_addr
+        while remaining > 0:
+            frame, offset = PhysicalMemory.split_phys(addr)
+            n = min(remaining, PAGE_SIZE - offset)
+            yield frame, offset, n
+            addr += n
+            remaining -= n
+
+    # -- transfers -----------------------------------------------------------
+
+    def read(self, phys_addr: int, length: int) -> bytes:
+        """DMA-read ``length`` bytes starting at flat ``phys_addr``."""
+        self._clock.charge(self._costs.dma_setup_ns, "dma")
+        self._clock.charge(self._costs.dma_ns(length), "dma")
+        out = bytearray()
+        for frame, offset, n in self._bursts(phys_addr, length):
+            out += self._phys.read(frame, offset, n)
+        self.bytes_read += length
+        if self._trace is not None:
+            self._trace.emit("dma_read", engine=self.name,
+                            phys_addr=phys_addr, length=length)
+        return bytes(out)
+
+    def write(self, phys_addr: int, data: bytes) -> None:
+        """DMA-write ``data`` starting at flat ``phys_addr``."""
+        self._clock.charge(self._costs.dma_setup_ns, "dma")
+        self._clock.charge(self._costs.dma_ns(len(data)), "dma")
+        pos = 0
+        for frame, offset, n in self._bursts(phys_addr, len(data)):
+            self._phys.write(frame, offset, data[pos:pos + n])
+            pos += n
+        self.bytes_written += len(data)
+        if self._trace is not None:
+            self._trace.emit("dma_write", engine=self.name,
+                            phys_addr=phys_addr, length=len(data))
+
+    def read_gather(self, segments: list[tuple[int, int]]) -> bytes:
+        """Gather-read: concatenate reads of ``(phys_addr, length)``
+        segments — how the NIC walks a multi-page TPT translation."""
+        return b"".join(self.read(addr, length) for addr, length in segments)
+
+    def write_scatter(self, segments: list[tuple[int, int]],
+                      data: bytes) -> None:
+        """Scatter-write ``data`` across ``(phys_addr, length)`` segments.
+
+        The segment lengths must sum to ``len(data)``.
+        """
+        total = sum(length for _, length in segments)
+        if total != len(data):
+            raise ValueError(
+                f"scatter list covers {total} bytes, data is {len(data)}")
+        pos = 0
+        for addr, length in segments:
+            self.write(addr, data[pos:pos + length])
+            pos += length

@@ -1,0 +1,43 @@
+"""Process capabilities — the pieces of the Linux capability model that
+gate ``mlock``.
+
+Section 3.2: "The privileges of a process are controlled by capabilities,
+and only root processes have got the CAP_IPC_LOCK capability for locking
+memory.  As the capabilities can be changed by the kernel, the Kernel
+Agent's registration function can grant that capability to the current
+process by means of cap_raise(), then call do_mlock and reclaim the
+capability again by cap_lower()."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+#: Capability allowing a process to lock memory (mlock/mlockall/SHM_LOCK).
+CAP_IPC_LOCK = "CAP_IPC_LOCK"
+
+#: Root's uid.
+ROOT_UID = 0
+
+
+def capable(task: "Task", cap: str) -> bool:
+    """True if ``task`` holds ``cap``.
+
+    Root (uid 0) implicitly holds every capability, matching the kernel's
+    ``capable()`` for the pre-securebits common case.
+    """
+    return task.uid == ROOT_UID or cap in task.capabilities
+
+
+def cap_raise(task: "Task", cap: str) -> None:
+    """Grant ``cap`` to ``task`` (kernel-internal; no permission check —
+    only kernel code such as the VIA Kernel Agent may call this)."""
+    task.capabilities.add(cap)
+
+
+def cap_lower(task: "Task", cap: str) -> None:
+    """Revoke ``cap`` from ``task`` (no-op if not held)."""
+    task.capabilities.discard(cap)

@@ -1,0 +1,340 @@
+"""The kernel facade: boots the machine, owns all subsystems, and exposes
+the syscall surface the experiments use.
+
+Construction parameters size the machine; the defaults give a small box
+(4 MiB RAM, 16 MiB swap) on which memory pressure is easy to create —
+the simulated analogue of the paper's test machine once the *allocator*
+process "allocates as much memory as possible forcing a large amount of
+pages to be swapped out".
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidArgument, OutOfMemory, SegmentationFault
+from repro.hw.dma import DMAEngine
+from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
+from repro.hw.swapdev import SwapDevice
+from repro.kernel import paging
+from repro.kernel.fault import handle_fault
+from repro.kernel.flags import (
+    PG_LOCKED, PG_PAGECACHE, VM_READ, VM_WRITE,
+)
+from repro.kernel.kiobuf import Kiobuf, map_user_kiobuf, unmap_kiobuf
+from repro.kernel.mlock import (
+    do_mlock, do_munlock, mlock_with_cap_dance, sys_mlock, sys_munlock,
+)
+from repro.kernel.page import PageDescriptor
+from repro.kernel.pagemap import PageMap
+from repro.kernel.task import Task
+from repro.kernel.vma import VMArea
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.rng import make_rng
+from repro.sim.trace import Trace
+
+
+class Kernel:
+    """One booted simulated machine."""
+
+    def __init__(self,
+                 num_frames: int = 1024,
+                 swap_slots: int = 4096,
+                 costs: CostModel | None = None,
+                 seed: int = 0,
+                 min_free_pages: int = 8,
+                 reserved_frames: int = 4,
+                 trace_maxlen: int = 65536,
+                 clock: SimClock | None = None,
+                 trace: Trace | None = None) -> None:
+        self.costs = costs if costs is not None else CostModel()
+        # A clock/trace may be shared across several machines (a cluster
+        # measures end-to-end latency on one timeline).
+        self.clock = clock if clock is not None else SimClock()
+        self.trace = trace if trace is not None else Trace(
+            self.clock, maxlen=trace_maxlen)
+        self.rng = make_rng(seed)
+        self.phys = PhysicalMemory(num_frames)
+        self.swap = SwapDevice(swap_slots, self.clock, self.costs)
+        self.pagemap = PageMap(num_frames, self.clock, self.costs,
+                               self.trace, reserved_frames=reserved_frames)
+        self.dma = DMAEngine(self.phys, self.clock, self.costs, self.trace,
+                             name="host-dma")
+        self.tasks: list[Task] = []
+        self.min_free_pages = min_free_pages
+        #: simulated page/buffer cache: set of frames
+        self.page_cache: set[int] = set()
+        #: live kiobufs by id
+        self.kiobufs: dict[int, Kiobuf] = {}
+        self._next_pid = 1
+        self._next_kiobuf_id = 1
+        self._clock_hand = 0                    # shrink_mmap clock position
+        self._swap_cnt: dict[int, int] = {}     # swap_out victim counters
+        self._task_swap_hand: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ tasks
+
+    def create_task(self, uid: int = 1000, name: str = "") -> Task:
+        """Spawn a new task with an empty address space."""
+        task = Task(self, self._next_pid, uid=uid, name=name)
+        self._next_pid += 1
+        self.tasks.append(task)
+        return task
+
+    def find_task(self, pid: int) -> Task:
+        """Look a task up by pid."""
+        for t in self.tasks:
+            if t.pid == pid:
+                return t
+        raise InvalidArgument(f"no task with pid {pid}")
+
+    def fork_task(self, parent: Task, name: str = "") -> Task:
+        """``fork()``: clone the parent's address space copy-on-write.
+
+        Every resident page becomes shared read-only between parent and
+        child; the first write by either side triggers the COW break the
+        paper mentions as a ``get_free_pages`` client ("for instance to
+        execute a copy-on-write operation").
+
+        Simplification (irrelevant to the paper's mechanisms): pages
+        currently in swap are faulted back in before sharing — the real
+        kernel shares swap entries through the swap cache instead.
+        """
+        from repro.kernel.fault import handle_fault
+        child = self.create_task(uid=parent.uid,
+                                 name=name or f"{parent.name}-child")
+        child.capabilities = set(parent.capabilities)
+        child.mmap_hint_vpn = parent.mmap_hint_vpn
+        for area in parent.vmas:
+            child.vmas.insert(VMArea(area.start_vpn, area.end_vpn,
+                                     area.flags, name=area.name))
+        for vpn in sorted(parent.page_table._entries):
+            pte = parent.page_table.lookup(vpn)
+            if pte.swapped:
+                handle_fault(self, parent, vpn, write=False)
+                pte = parent.page_table.lookup(vpn)
+            if not pte.present:
+                continue
+            pd = self.pagemap.get_page(pte.frame)
+            # First share establishes two sharers; later forks add one.
+            pd.cow_shares = (pd.cow_shares + 1) if pd.cow_shares \
+                else 2
+            pte.writable = False
+            pte.cow = True
+            cpte = child.page_table.set_mapping(vpn, pte.frame,
+                                                writable=False)
+            cpte.cow = True
+            self.clock.charge(self.costs.pagetable_walk_ns, "fork")
+        self.clock.charge(self.costs.syscall_ns, "fork")
+        self.trace.emit("fork", parent=parent.pid, child=child.pid)
+        return child
+
+    def exit_task(self, task: Task) -> None:
+        """Tear a task down: unmap everything, free frames and swap."""
+        for area in list(task.vmas):
+            self.sys_munmap(task, area.start_vpn * PAGE_SIZE, area.npages)
+        self.tasks.remove(task)
+        self._swap_cnt.pop(task.pid, None)
+        self._task_swap_hand.pop(task.pid, None)
+
+    # ------------------------------------------------------- frame allocation
+
+    def alloc_frame(self, tag: str = "") -> PageDescriptor:
+        """Allocate one frame, invoking reclaim when the free list runs
+        low — the ``get_free_pages → try_to_free_pages`` loop."""
+        if self.pagemap.free_count <= self.min_free_pages:
+            paging.try_to_free_pages(
+                self, self.min_free_pages - self.pagemap.free_count + 4)
+        try:
+            return self.pagemap.alloc(tag=tag)
+        except OutOfMemory:
+            freed = paging.try_to_free_pages(self, 4)
+            if freed == 0:
+                raise OutOfMemory(
+                    "out of memory: reclaim freed nothing "
+                    f"(free={self.pagemap.free_count})") from None
+            return self.pagemap.alloc(tag=tag)
+
+    def apply_pressure(self, target_free: int = 0) -> int:
+        """Force reclaim until at most ``target_free`` extra frames could
+        be freed — a direct handle for tests that want pressure without
+        an allocator task."""
+        return paging.try_to_free_pages(
+            self, max(1, self.pagemap.free_count + 1 + target_free))
+
+    # ------------------------------------------------------------- mmap/munmap
+
+    def sys_mmap(self, task: Task, npages: int, writable: bool = True,
+                 name: str = "") -> int:
+        """Map ``npages`` of anonymous memory; returns the base address.
+
+        Demand-paged: no frames are allocated until the task touches the
+        pages (step 1 of the experiment exists precisely to defeat this).
+        """
+        self.clock.charge(self.costs.syscall_ns, "syscall")
+        if npages <= 0:
+            raise InvalidArgument(f"cannot map {npages} pages")
+        flags = VM_READ | (VM_WRITE if writable else 0)
+        start_vpn = task.mmap_hint_vpn
+        task.mmap_hint_vpn += npages + 1   # guard page gap
+        task.vmas.insert(VMArea(start_vpn, start_vpn + npages, flags,
+                                name=name or "anon"))
+        return start_vpn * PAGE_SIZE
+
+    def sys_munmap(self, task: Task, va: int, npages: int) -> None:
+        """Unmap ``npages`` at ``va``: drop VMAs, PTEs, frames, swap
+        slots."""
+        self.clock.charge(self.costs.syscall_ns, "syscall")
+        if va % PAGE_SIZE:
+            raise InvalidArgument("munmap address must be page-aligned")
+        start_vpn = va // PAGE_SIZE
+        end_vpn = start_vpn + npages
+        task.vmas.remove_range(start_vpn, end_vpn)
+        for vpn in range(start_vpn, end_vpn):
+            pte = task.page_table.lookup(vpn)
+            if pte is None:
+                continue
+            if pte.present:
+                pd = self.pagemap.page(pte.frame)
+                if pd.mapping == (task.pid, vpn):
+                    pd.mapping = None
+                if pte.cow and pd.cow_shares > 0:
+                    pd.cow_shares -= 1
+                self.pagemap.put_page(pte.frame)
+            elif pte.swapped:
+                self.swap.free_slot(pte.swap_slot)
+            task.page_table.clear(vpn)
+
+    # ------------------------------------------------------------- user access
+
+    def _resolve_for_access(self, task: Task, vpn: int, write: bool) -> int:
+        """Fault ``vpn`` in as needed for an access; returns the frame."""
+        pte = task.page_table.lookup(vpn)
+        if (pte is None or not pte.present
+                or (write and not pte.writable)):
+            frame = handle_fault(self, task, vpn, write=write)
+            pte = task.page_table.lookup(vpn)
+        else:
+            frame = pte.frame
+        pte.accessed = True
+        if write:
+            pte.dirty = True
+        return frame
+
+    def user_write(self, task: Task, va: int, data: bytes) -> None:
+        """Store ``data`` at ``va`` on behalf of ``task`` (CPU store)."""
+        self.clock.charge(self.costs.memcpy_ns(len(data)), "cpu_copy")
+        pos = 0
+        while pos < len(data):
+            vpn = (va + pos) // PAGE_SIZE
+            offset = (va + pos) % PAGE_SIZE
+            n = min(len(data) - pos, PAGE_SIZE - offset)
+            frame = self._resolve_for_access(task, vpn, write=True)
+            self.phys.write(frame, offset, data[pos:pos + n])
+            pos += n
+
+    def user_read(self, task: Task, va: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``va`` on behalf of ``task``."""
+        self.clock.charge(self.costs.memcpy_ns(length), "cpu_copy")
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            vpn = (va + pos) // PAGE_SIZE
+            offset = (va + pos) % PAGE_SIZE
+            n = min(length - pos, PAGE_SIZE - offset)
+            frame = self._resolve_for_access(task, vpn, write=False)
+            out += self.phys.read(frame, offset, n)
+            pos += n
+        return bytes(out)
+
+    def virt_to_phys(self, task: Task, va: int) -> int:
+        """Walk the page tables: flat physical address backing ``va``.
+
+        Raises SegmentationFault if the page is not resident.  This is
+        the operation mainline policy forbids drivers from doing — the
+        refcount-style locking backends call it anyway, as their real
+        counterparts did.
+        """
+        self.clock.charge(self.costs.pagetable_walk_ns, "mm")
+        vpn = va // PAGE_SIZE
+        pte = task.page_table.lookup(vpn)
+        if pte is None or not pte.present:
+            raise SegmentationFault(
+                f"virt_to_phys: vpn {vpn} of {task.name} not resident")
+        return pte.frame * PAGE_SIZE + (va % PAGE_SIZE)
+
+    # --------------------------------------------------------- mlock interface
+
+    def sys_mlock(self, task: Task, va: int, nbytes: int) -> None:
+        """``mlock(2)`` — see :mod:`repro.kernel.mlock`."""
+        sys_mlock(self, task, va, nbytes)
+
+    def sys_munlock(self, task: Task, va: int, nbytes: int) -> None:
+        """``munlock(2)`` — see :mod:`repro.kernel.mlock`."""
+        sys_munlock(self, task, va, nbytes)
+
+    def do_mlock(self, task: Task, va: int, nbytes: int) -> None:
+        """Unchecked ``do_mlock`` (User-DMA-patch path)."""
+        do_mlock(self, task, va, nbytes)
+
+    def do_munlock(self, task: Task, va: int, nbytes: int) -> None:
+        """Unchecked ``do_munlock``."""
+        do_munlock(self, task, va, nbytes)
+
+    def mlock_with_cap_dance(self, task: Task, va: int, nbytes: int) -> None:
+        """cap_raise → sys_mlock → cap_lower (Sec. 3.2 variant 2)."""
+        mlock_with_cap_dance(self, task, va, nbytes)
+
+    # --------------------------------------------------------- kiobuf interface
+
+    def map_user_kiobuf(self, task: Task, va: int, nbytes: int,
+                        write: bool = True) -> Kiobuf:
+        """Map a user range into a kiobuf — see
+        :mod:`repro.kernel.kiobuf`."""
+        return map_user_kiobuf(self, task, va, nbytes, write=write)
+
+    def unmap_kiobuf(self, kio: Kiobuf) -> None:
+        """Unmap a kiobuf."""
+        unmap_kiobuf(self, kio)
+
+    # -------------------------------------------------- page cache (for E6 etc.)
+
+    def add_page_cache_page(self) -> PageDescriptor:
+        """Allocate a frame into the simulated page/buffer cache (it
+        becomes a shrink_mmap reclaim candidate)."""
+        pd = self.alloc_frame(tag="pagecache")
+        pd.set_flag(PG_PAGECACHE)
+        self.page_cache.add(pd.frame)
+        return pd
+
+    def lock_page(self, frame: int) -> None:
+        """Kernel-side ``lock_page``: set PG_locked for an I/O in flight."""
+        self.clock.charge(self.costs.page_lock_ns, "mm")
+        self.pagemap.page(frame).set_flag(PG_LOCKED)
+
+    def unlock_page(self, frame: int) -> None:
+        """Kernel-side ``unlock_page``."""
+        self.clock.charge(self.costs.page_lock_ns, "mm")
+        self.pagemap.page(frame).clear_flag(PG_LOCKED)
+
+    # ----------------------------------------------------------------- stats
+
+    @property
+    def free_pages(self) -> int:
+        """Frames currently on the free list."""
+        return self.pagemap.free_count
+
+    def memory_stats(self) -> dict:
+        """Snapshot of memory accounting for reports."""
+        resident = sum(t.resident_pages() for t in self.tasks)
+        return {
+            "total_frames": self.pagemap.num_frames,
+            "free_frames": self.pagemap.free_count,
+            "resident_task_pages": resident,
+            "page_cache_pages": len(self.page_cache),
+            "swap_slots_in_use": self.swap.slots_in_use,
+            "swap_writes": self.swap.writes,
+            "swap_reads": self.swap.reads,
+            "orphan_frames": sum(
+                1 for pd in self.pagemap
+                if pd.tag == "orphan" and pd.count > 0),
+        }

@@ -1,0 +1,117 @@
+"""Per-frame page descriptor — the simulator's ``mem_map_t``.
+
+Section 2.1 of the paper: "The Linux kernel keeps a so called mem_map_t
+data structure for each physical page in the system.  This structure
+contains ... a reference counter and a flag field.  If the reference
+counter is zero the page is free, otherwise the counter denotes the
+number of users of the page."
+
+We add one field with no 2.2-era equivalent: ``pin_count``, the per-page
+pin counter maintained by the kiobuf layer (our reconstruction of the
+paper's proposal, see DESIGN.md §5).  A page with ``pin_count > 0`` is
+skipped by ``swap_out`` exactly as a ``PG_locked`` page is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PageAccountingError
+from repro.kernel.flags import (
+    PAGE_FLAG_NAMES, PG_LOCKED, PG_PAGECACHE, PG_REFERENCED, PG_RESERVED,
+    describe_flags,
+)
+
+
+@dataclass
+class PageDescriptor:
+    """State of one physical page frame."""
+
+    frame: int                 #: frame number (index into mem_map)
+    count: int = 0             #: reference counter; 0 ⇔ free
+    flags: int = 0             #: PG_* flag word
+    pin_count: int = 0         #: kiobuf pins (reconstruction; see DESIGN.md)
+    age: int = 0               #: clock-algorithm age
+    #: Reverse-map hint: ``(pid, vpn)`` of the (single) process mapping, or
+    #: None.  Anonymous pages in this simulator are never shared between
+    #: page tables except via COW, which tracks sharing through ``count``.
+    mapping: tuple[int, int] | None = None
+    #: COW sharers: number of PTEs mapping this frame read-only via fork-
+    #: style sharing.  Kept distinct from ``count`` for audit clarity.
+    cow_shares: int = 0
+    tag: str = field(default="", compare=False)  #: debugging label
+
+    # -- flag helpers --------------------------------------------------------
+
+    def set_flag(self, bit: int) -> None:
+        """Set a PG_* flag bit."""
+        self.flags |= bit
+
+    def clear_flag(self, bit: int) -> None:
+        """Clear a PG_* flag bit."""
+        self.flags &= ~bit
+
+    def test_flag(self, bit: int) -> bool:
+        """True iff the PG_* flag bit is set."""
+        return bool(self.flags & bit)
+
+    @property
+    def locked(self) -> bool:
+        """PG_locked is set."""
+        return self.test_flag(PG_LOCKED)
+
+    @property
+    def reserved(self) -> bool:
+        """PG_reserved is set."""
+        return self.test_flag(PG_RESERVED)
+
+    @property
+    def referenced(self) -> bool:
+        """PG_referenced is set."""
+        return self.test_flag(PG_REFERENCED)
+
+    @property
+    def in_page_cache(self) -> bool:
+        """Page belongs to the simulated page/buffer cache."""
+        return self.test_flag(PG_PAGECACHE)
+
+    @property
+    def free(self) -> bool:
+        """Reference counter is zero."""
+        return self.count == 0
+
+    @property
+    def pinned(self) -> bool:
+        """At least one kiobuf pin is held."""
+        return self.pin_count > 0
+
+    # -- counter helpers -------------------------------------------------------
+
+    def get(self) -> None:
+        """``get_page`` — take a reference."""
+        self.count += 1
+
+    def put(self) -> int:
+        """``put_page``/``__free_page`` — drop a reference; returns the
+        new count.  Underflow is an accounting violation."""
+        if self.count <= 0:
+            raise PageAccountingError(
+                f"refcount underflow on frame {self.frame}")
+        self.count -= 1
+        return self.count
+
+    def pin(self) -> None:
+        """Take one kiobuf pin."""
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        """Drop one kiobuf pin; underflow is an accounting violation."""
+        if self.pin_count <= 0:
+            raise PageAccountingError(
+                f"pin-count underflow on frame {self.frame}")
+        self.pin_count -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PageDescriptor(frame={self.frame}, count={self.count}, "
+                f"pins={self.pin_count}, "
+                f"flags={describe_flags(self.flags, PAGE_FLAG_NAMES)})")

@@ -1,0 +1,152 @@
+"""The page map — ``mem_map[]`` plus the free list and frame accounting.
+
+This module owns *who may use which frame*; policy about *when to steal
+frames back* lives in :mod:`repro.kernel.paging`.
+
+A central subtlety, copied from the kernel and essential to the paper's
+experiment: :meth:`put_page` decrements the reference counter and returns
+the frame to the free list **only if the counter reaches zero**.  When a
+VIA driver has taken an extra reference, the kernel's ``swap_out`` path
+still unmaps the page and calls ``__free_page`` — but because of the
+driver's reference the frame is *not* freed: it becomes an **orphan**,
+"not really released ... not associated with the virtual page just
+swapped out any more but still in use" (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import OutOfMemory, PageAccountingError
+from repro.kernel.flags import PG_RESERVED
+from repro.kernel.page import PageDescriptor
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import Trace
+
+
+class PageMap:
+    """Array of :class:`PageDescriptor` covering all installed frames."""
+
+    def __init__(self, num_frames: int, clock: SimClock, costs: CostModel,
+                 trace: Trace | None = None,
+                 reserved_frames: int = 0) -> None:
+        self._clock = clock
+        self._costs = costs
+        self._trace = trace
+        self.num_frames = num_frames
+        self.pages: list[PageDescriptor] = [
+            PageDescriptor(frame=i) for i in range(num_frames)]
+        # Frames reserved for the "kernel image" — PG_reserved, never
+        # allocatable, mirroring the pages the real kernel marks reserved
+        # at boot.
+        self._free: list[int] = []
+        for i in range(num_frames - 1, reserved_frames - 1, -1):
+            self._free.append(i)
+        for i in range(reserved_frames):
+            pd = self.pages[i]
+            pd.set_flag(PG_RESERVED)
+            pd.count = 1
+            pd.tag = "kernel-image"
+        self.reserved_frames = reserved_frames
+
+    # -- queries -----------------------------------------------------------
+
+    def page(self, frame: int) -> PageDescriptor:
+        """The descriptor for ``frame``."""
+        return self.pages[frame]
+
+    @property
+    def free_count(self) -> int:
+        """Number of frames on the free list."""
+        return len(self._free)
+
+    def __iter__(self) -> Iterator[PageDescriptor]:
+        return iter(self.pages)
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, tag: str = "") -> PageDescriptor:
+        """``get_free_pages`` fast path: pop a frame from the free list.
+
+        Raises :class:`~repro.errors.OutOfMemory` when the list is empty;
+        the caller (:meth:`repro.kernel.kernel.Kernel.alloc_frame`) is
+        responsible for invoking reclaim and retrying — mirroring the
+        ``get_free_pages → try_to_free_pages`` structure of the kernel.
+        """
+        if not self._free:
+            raise OutOfMemory("free list empty")
+        self._clock.charge(self._costs.frame_alloc_ns, "mm")
+        frame = self._free.pop()
+        pd = self.pages[frame]
+        if pd.count != 0:
+            raise PageAccountingError(
+                f"frame {frame} on free list with refcount {pd.count}")
+        pd.count = 1
+        pd.flags = 0
+        pd.pin_count = 0
+        pd.age = 0
+        pd.mapping = None
+        pd.cow_shares = 0
+        pd.tag = tag
+        return pd
+
+    def get_page(self, frame: int) -> PageDescriptor:
+        """Take an extra reference on an in-use frame (``get_page``)."""
+        pd = self.pages[frame]
+        if pd.count == 0:
+            raise PageAccountingError(
+                f"get_page on free frame {frame}")
+        pd.get()
+        return pd
+
+    def put_page(self, frame: int) -> bool:
+        """``__free_page``: drop one reference; free the frame iff the
+        count reaches zero.  Returns True if the frame was actually
+        freed.
+
+        Reserved frames are never returned to the free list even at count
+        zero (the kernel leaves them alone entirely)."""
+        pd = self.pages[frame]
+        new_count = pd.put()
+        if new_count == 0 and not pd.reserved:
+            pd.flags = 0
+            pd.mapping = None
+            pd.cow_shares = 0
+            pd.tag = ""
+            if pd.pin_count != 0:
+                raise PageAccountingError(
+                    f"frame {frame} freed while pinned "
+                    f"(pin_count={pd.pin_count})")
+            self._free.append(frame)
+            if self._trace is not None:
+                self._trace.emit("frame_freed", frame=frame)
+            return True
+        return False
+
+    # -- audits --------------------------------------------------------------
+
+    def orphans(self) -> list[PageDescriptor]:
+        """Frames that are in use but mapped by no page table and owned by
+        no subsystem tag — the tell-tale of the Sec. 3.1 failure.
+
+        (The kernel has no such query; our audit layer uses it.)
+        """
+        return [pd for pd in self.pages
+                if pd.count > 0 and not pd.reserved
+                and pd.mapping is None and not pd.in_page_cache
+                and pd.tag == "orphan"]
+
+    def check_free_list(self) -> None:
+        """Invariant: every frame on the free list has refcount zero and
+        no frame appears twice."""
+        seen: set[int] = set()
+        for frame in self._free:
+            if frame in seen:
+                raise PageAccountingError(
+                    f"frame {frame} on the free list twice")
+            seen.add(frame)
+            if self.pages[frame].count != 0:
+                raise PageAccountingError(
+                    f"frame {frame} free with refcount "
+                    f"{self.pages[frame].count}")

@@ -1,0 +1,101 @@
+"""Per-task page tables.
+
+A page-table entry is either **present** (maps a frame, with a writable
+bit) or **not present**; a not-present entry may carry a swap-slot index,
+in which case the page's contents live on the swap device and the next
+touch takes a *major* fault.  This is precisely the state machine the
+paper's Section 3.1 walks through: ``swap_out`` "stores the swap address
+in the page table and marks the entry not-present".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class PTE:
+    """One page-table entry."""
+
+    present: bool = False
+    frame: int = -1            #: valid iff present
+    writable: bool = False
+    dirty: bool = False
+    accessed: bool = False
+    cow: bool = False          #: write-protected pending copy-on-write
+    swap_slot: int = -1        #: valid iff not present and >= 0
+
+    @property
+    def swapped(self) -> bool:
+        """Entry refers to a swap slot rather than a frame."""
+        return (not self.present) and self.swap_slot >= 0
+
+
+class PageTable:
+    """Sparse map from virtual page number to :class:`PTE`.
+
+    (The real kernel uses a multi-level radix structure; the simulator
+    uses a dict because only the *semantics* of entries matter to the
+    paper's arguments, not their encoding.)
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, PTE] = {}
+
+    def lookup(self, vpn: int) -> PTE | None:
+        """The entry for ``vpn``, or None if no entry exists at all."""
+        return self._entries.get(vpn)
+
+    def ensure(self, vpn: int) -> PTE:
+        """The entry for ``vpn``, creating an empty one if needed."""
+        pte = self._entries.get(vpn)
+        if pte is None:
+            pte = PTE()
+            self._entries[vpn] = pte
+        return pte
+
+    def set_mapping(self, vpn: int, frame: int, writable: bool,
+                    dirty: bool = False) -> PTE:
+        """Install a present mapping ``vpn → frame``."""
+        pte = self.ensure(vpn)
+        pte.present = True
+        pte.frame = frame
+        pte.writable = writable
+        pte.dirty = dirty
+        pte.accessed = True
+        pte.swap_slot = -1
+        return pte
+
+    def set_swapped(self, vpn: int, slot: int) -> PTE:
+        """Mark ``vpn`` not-present with its contents in swap ``slot``."""
+        pte = self.ensure(vpn)
+        pte.present = False
+        pte.frame = -1
+        pte.swap_slot = slot
+        return pte
+
+    def clear(self, vpn: int) -> None:
+        """Remove any entry for ``vpn`` (munmap path)."""
+        self._entries.pop(vpn, None)
+
+    def present_entries(self) -> Iterator[tuple[int, PTE]]:
+        """Iterate ``(vpn, pte)`` over present entries, ascending vpn."""
+        for vpn in sorted(self._entries):
+            pte = self._entries[vpn]
+            if pte.present:
+                yield vpn, pte
+
+    def entries_in(self, start_vpn: int, end_vpn: int
+                   ) -> Iterator[tuple[int, PTE]]:
+        """Iterate entries with ``start_vpn <= vpn < end_vpn``."""
+        for vpn in sorted(self._entries):
+            if start_vpn <= vpn < end_vpn:
+                yield vpn, self._entries[vpn]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resident_count(self) -> int:
+        """Number of present entries (the task's RSS in pages)."""
+        return sum(1 for _, pte in self.present_entries())

@@ -1,0 +1,14 @@
+"""MPI-layer constants."""
+
+#: wildcard source for receives
+ANY_SOURCE = -1
+
+#: wildcard tag for receives
+ANY_TAG = -1
+
+#: "Tags haben innerhalb einer MPI-Applikation einen Wertebereich von 0
+#: bis MPI_MAX_TAG" — negative tags are reserved for system messages.
+MAX_TAG = 2**20
+
+#: context id of the world communicator
+WORLD_CONTEXT = 0

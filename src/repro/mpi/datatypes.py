@@ -1,0 +1,145 @@
+"""MPI datatypes: describing non-contiguous user data.
+
+The collection's CHEMPI design names the case explicitly: library
+buffers are used "for noncontiguous data types that have to be packed
+before communication" — the classic MPICH approach.  A
+:class:`Datatype` describes a memory layout as ``(offset, nbytes)``
+blocks; :func:`pack` gathers it into a contiguous byte string (charging
+the copies) and :func:`unpack` scatters it back.
+
+``MpiRank.send_typed`` / ``recv_typed`` (see :mod:`repro.mpi.rank_typed`)
+use these to transfer strided data — e.g. a column of a row-major
+matrix — over the byte-oriented transport.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import InvalidArgument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+
+class Datatype(abc.ABC):
+    """A memory layout: a sequence of ``(offset, nbytes)`` blocks."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Total payload bytes (sum of block lengths)."""
+
+    @property
+    @abc.abstractmethod
+    def extent(self) -> int:
+        """Span from the first to one past the last byte touched."""
+
+    @abc.abstractmethod
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(offset, nbytes)`` blocks in transfer order."""
+
+
+@dataclass(frozen=True)
+class Contiguous(Datatype):
+    """``count`` contiguous bytes."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise InvalidArgument(f"negative count {self.count}")
+
+    @property
+    def size(self) -> int:
+        return self.count
+
+    @property
+    def extent(self) -> int:
+        return self.count
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        if self.count:
+            yield 0, self.count
+
+
+@dataclass(frozen=True)
+class Vector(Datatype):
+    """``count`` blocks of ``blocklen`` bytes, ``stride`` bytes apart —
+    ``MPI_Type_vector`` in byte units (a matrix column, a halo face)."""
+
+    count: int
+    blocklen: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.blocklen < 0:
+            raise InvalidArgument("negative vector shape")
+        if self.count > 1 and self.stride < self.blocklen:
+            raise InvalidArgument(
+                f"stride {self.stride} < blocklen {self.blocklen}: "
+                f"blocks would overlap")
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklen
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0:
+            return 0
+        return (self.count - 1) * self.stride + self.blocklen
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        for i in range(self.count):
+            if self.blocklen:
+                yield i * self.stride, self.blocklen
+
+
+@dataclass(frozen=True)
+class Indexed(Datatype):
+    """Arbitrary ``(offset, nbytes)`` blocks — ``MPI_Type_indexed``."""
+
+    entries: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for offset, nbytes in self.entries:
+            if offset < 0 or nbytes < 0:
+                raise InvalidArgument(
+                    f"negative indexed entry ({offset}, {nbytes})")
+
+    @property
+    def size(self) -> int:
+        return sum(n for _, n in self.entries)
+
+    @property
+    def extent(self) -> int:
+        if not self.entries:
+            return 0
+        return max(offset + n for offset, n in self.entries)
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        for offset, nbytes in self.entries:
+            if nbytes:
+                yield offset, nbytes
+
+
+def pack(task: "Task", va: int, dtype: Datatype) -> bytes:
+    """Gather ``dtype`` at ``va`` into contiguous bytes (CPU copies are
+    charged through the task's reads)."""
+    return b"".join(task.read(va + offset, nbytes)
+                    for offset, nbytes in dtype.blocks())
+
+
+def unpack(task: "Task", va: int, dtype: Datatype, data: bytes) -> None:
+    """Scatter contiguous ``data`` into ``dtype`` at ``va``."""
+    if len(data) != dtype.size:
+        raise InvalidArgument(
+            f"payload of {len(data)} bytes does not fit datatype of "
+            f"size {dtype.size}")
+    pos = 0
+    for offset, nbytes in dtype.blocks():
+        task.write(va + offset, data[pos:pos + nbytes])
+        pos += nbytes

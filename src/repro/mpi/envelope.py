@@ -1,0 +1,73 @@
+"""Wire envelopes for the MPI layer.
+
+Every chunk travelling between ranks carries a fixed-size header in
+front of its payload.  Kinds:
+
+* ``EGR0`` — first chunk of an eager message (header + leading payload);
+* ``EGRB`` — eager body chunk (in-order continuation on the same VI);
+* ``RTS`` — rendezvous request ("I have nbytes tagged t for you");
+* ``CTS`` — rendezvous grant, carrying the receiver's registered
+  (memory handle, virtual address);
+* ``FIN`` — rendezvous completion notification after the RDMA write.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ViaError
+
+_HEADER = struct.Struct("<4siiiQQQQ")
+#: bytes of header prepended to every chunk
+HEADER_SIZE = _HEADER.size
+
+KIND_EAGER_FIRST = b"EGR0"
+KIND_EAGER_BODY = b"EGRB"
+KIND_RTS = b"RTS\0"
+KIND_CTS = b"CTS\0"
+KIND_FIN = b"FIN\0"
+
+KINDS = {KIND_EAGER_FIRST, KIND_EAGER_BODY, KIND_RTS, KIND_CTS, KIND_FIN}
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One chunk header."""
+
+    kind: bytes
+    src_rank: int
+    tag: int
+    context: int
+    nbytes: int          #: total message size (EGR0/RTS) or chunk size
+    seq: int             #: per-(pair) message sequence number
+    arg0: int = 0        #: CTS: memory handle; FIN: unused
+    arg1: int = 0        #: CTS: remote va
+
+    def pack(self) -> bytes:
+        """Serialise the header to its wire form."""
+        return _HEADER.pack(self.kind, self.src_rank, self.tag,
+                            self.context, self.nbytes, self.seq,
+                            self.arg0, self.arg1)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Envelope":
+        if len(data) < HEADER_SIZE:
+            raise ViaError(f"short envelope: {len(data)} bytes")
+        kind, src, tag, ctx, nbytes, seq, a0, a1 = _HEADER.unpack(
+            data[:HEADER_SIZE])
+        if kind not in KINDS:
+            raise ViaError(f"unknown envelope kind {kind!r}")
+        return cls(kind=kind, src_rank=src, tag=tag, context=ctx,
+                   nbytes=nbytes, seq=seq, arg0=a0, arg1=a1)
+
+
+def frame(envelope: Envelope, payload: bytes = b"") -> bytes:
+    """Serialise one chunk."""
+    return envelope.pack() + payload
+
+
+def deframe(chunk: bytes) -> tuple[Envelope, bytes]:
+    """Parse one chunk into (envelope, payload)."""
+    env = Envelope.unpack(chunk)
+    return env, chunk[HEADER_SIZE:]

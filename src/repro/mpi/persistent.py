@@ -1,0 +1,104 @@
+"""Persistent communication requests.
+
+The collection's CHEMPI paper states the motivation directly: "In order
+to get high performance it is profitable to use registered buffer again
+like in the MPI persistent communication" — a persistent request binds
+a (peer, tag, buffer) tuple once, **pre-registers the buffer** (pinning
+it through the registration cache so it can never be evicted while the
+request lives), and can then be started any number of times with zero
+registration work on the critical path.
+
+Usage::
+
+    preq = rank.send_init(dest, tag, va, nbytes)
+    for _ in range(iterations):
+        preq.start()
+        ...
+        preq.wait()
+    preq.free()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ViaError
+from repro.mpi.requests import Request, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.rank import MpiRank
+
+
+class PersistentRequest:
+    """A reusable, pre-registered send or receive."""
+
+    def __init__(self, rank: "MpiRank", kind: str, peer: int, tag: int,
+                 va: int, nbytes: int, context: int = 0) -> None:
+        if kind not in ("send", "recv"):
+            raise ViaError(f"unknown persistent kind {kind!r}")
+        self.rank = rank
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.va = va
+        self.nbytes = nbytes
+        self.context = context
+        self._active: Request | None = None
+        self._freed = False
+        self.starts = 0
+        # Pre-register: only rendezvous-sized messages ever need a
+        # registration, and receives need the RDMA-write enable the
+        # rendezvous grant will ask for.
+        self._held = False
+        if nbytes > rank.world.eager_threshold and peer in rank.endpoints:
+            cache = rank.endpoints[peer].cache
+            if kind == "recv":
+                cache.acquire(va, nbytes, rdma_write=True)
+            else:
+                cache.acquire(va, nbytes)
+            self._held = True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "PersistentRequest":
+        """Begin one communication; the request must not be active."""
+        if self._freed:
+            raise ViaError("persistent request already freed")
+        if self._active is not None and not self._active.done:
+            raise ViaError("persistent request already active")
+        if self.kind == "send":
+            self._active = self.rank.isend(self.peer, self.tag, self.va,
+                                           self.nbytes, self.context)
+        else:
+            self._active = self.rank.irecv(self.peer, self.tag, self.va,
+                                           self.nbytes, self.context)
+        self.starts += 1
+        return self
+
+    def test(self) -> bool:
+        """Non-blocking completion check of the current start."""
+        if self._active is None:
+            raise ViaError("persistent request not started")
+        return self._active.test()
+
+    def wait(self) -> Status:
+        """Complete the current start; the request becomes restartable."""
+        if self._active is None:
+            raise ViaError("persistent request not started")
+        status = self._active.wait()
+        return status
+
+    def free(self) -> None:
+        """Release the pre-registration (idempotent).  The request must
+        not be active."""
+        if self._active is not None and not self._active.done:
+            raise ViaError("cannot free an active persistent request")
+        if self._held and not self._freed:
+            self.rank.endpoints[self.peer].cache.release(self.va,
+                                                         self.nbytes)
+        self._freed = True
+
+    @property
+    def active(self) -> bool:
+        """A start is in flight and not yet completed."""
+        return self._active is not None and not self._active.done

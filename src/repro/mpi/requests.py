@@ -1,0 +1,76 @@
+"""Requests and statuses — the handles of non-blocking MPI operations.
+
+"Dieser Request ist die einzige Möglichkeit, die Kommunikationsoperation
+nach ihrer Initialisierung zu referenzieren."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ViaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.rank import MpiRank
+
+_req_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion status of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class Request:
+    """One outstanding non-blocking operation."""
+
+    rank: "MpiRank"
+    kind: str                      #: ``"send"`` or ``"recv"``
+    #: recv matching criteria (may hold wildcards)
+    source: int = -2
+    tag: int = -2
+    context: int = 0
+    #: recv landing zone
+    va: int = 0
+    max_nbytes: int = 0
+    #: completion
+    done: bool = False
+    status: Status | None = None
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    def test(self) -> bool:
+        """Non-blocking completion check (drives progress once)."""
+        if not self.done:
+            self.rank.progress()
+        return self.done
+
+    def wait(self) -> Status:
+        """Block until complete; returns the status.
+
+        In the co-simulated world "blocking" means repeatedly driving
+        every rank's progress engine; if no progress is possible the
+        application has genuinely deadlocked and we raise.
+        """
+        spins = 0
+        while not self.done:
+            moved = self.rank.world.progress_all()
+            self.rank.progress()
+            spins += 1
+            if not moved and not self.done and spins > 4:
+                raise ViaError(
+                    f"deadlock: request {self.req_id} ({self.kind} "
+                    f"src={self.source} tag={self.tag}) cannot complete")
+        assert self.status is not None
+        return self.status
+
+    def complete(self, status: Status) -> None:
+        """Mark complete (internal)."""
+        self.done = True
+        self.status = status

@@ -1,0 +1,69 @@
+"""An MPI-flavoured facade over the protocols.
+
+Mirrors how real VIA MPI implementations pick a protocol by message
+size ("the kink at 4 KB is caused by switching from eager to long
+protocol"):
+
+* below ``eager_threshold`` — eager,
+* between the thresholds — rendezvous-copy,
+* at or above ``zerocopy_threshold`` — rendezvous-zero-copy (cached).
+
+Thresholds default to the MPI/Pro-era switch points and are
+constructor-tunable so benchmark E5 can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.msg.endpoint import Endpoint
+from repro.msg.protocols import (
+    EagerProtocol, Protocol, RendezvousCopyProtocol,
+    RendezvousZeroCopyProtocol, TransferResult,
+)
+
+
+@dataclass
+class MpiPair:
+    """A connected sender/receiver pair with size-based protocol switch."""
+
+    sender: Endpoint
+    receiver: Endpoint
+    eager_threshold: int = 4 * 1024
+    zerocopy_threshold: int = 128 * 1024
+    use_cache: bool = True
+    history: list[TransferResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._eager = EagerProtocol()
+        self._rcopy = RendezvousCopyProtocol()
+        self._zcopy = RendezvousZeroCopyProtocol(use_cache=self.use_cache)
+
+    def protocol_for(self, nbytes: int) -> Protocol:
+        """The protocol the pair would use for ``nbytes``."""
+        if nbytes < self.eager_threshold:
+            return self._eager
+        if nbytes < self.zerocopy_threshold:
+            return self._rcopy
+        return self._zcopy
+
+    def sendrecv(self, src_va: int, dst_va: int,
+                 nbytes: int) -> TransferResult:
+        """One matched send/recv: move ``nbytes`` from the sender's
+        ``src_va`` to the receiver's ``dst_va``."""
+        protocol = self.protocol_for(nbytes)
+        result = protocol.transfer(self.sender, self.receiver,
+                                   src_va, dst_va, nbytes)
+        self.history.append(result)
+        return result
+
+    def ping_pong(self, src_va: int, dst_va: int, nbytes: int,
+                  back_src_va: int, back_dst_va: int
+                  ) -> tuple[TransferResult, TransferResult]:
+        """A NetPIPE-style ping-pong: A→B then B→A of the same size."""
+        there = self.sendrecv(src_va, dst_va, nbytes)
+        protocol = self.protocol_for(nbytes)
+        back = protocol.transfer(self.receiver, self.sender,
+                                 back_src_va, back_dst_va, nbytes)
+        self.history.append(back)
+        return there, back

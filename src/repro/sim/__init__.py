@@ -1,0 +1,8 @@
+"""Simulation support: deterministic clock, cost model, tracing, RNG."""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.rng import make_rng
+
+__all__ = ["SimClock", "CostModel", "Trace", "TraceEvent", "make_rng"]

@@ -1,0 +1,121 @@
+"""Simulated-time accounting.
+
+All timing the benchmarks report comes from :class:`SimClock`, a simple
+monotonically increasing nanosecond counter that subsystems *charge* as
+they perform work.  This keeps benchmark shapes deterministic and
+host-independent: a registration of N pages always costs exactly
+``N * (page_walk + tpt_update) + syscall`` simulated nanoseconds, so the
+linear-in-pages shape the paper's evaluation depends on cannot be washed
+out by interpreter noise.  (pytest-benchmark additionally measures real
+host time of the whole simulation; see ``benchmarks/``.)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class SimClock:
+    """A monotonically increasing simulated-time counter (nanoseconds).
+
+    The clock also keeps per-category totals so experiments can report
+    *where* time went (syscall overhead vs disk I/O vs DMA), which is how
+    the paper argues about "expensive page-in operations during
+    communication".
+    """
+
+    def __init__(self) -> None:
+        self._now_ns: int = 0
+        self._by_category: dict[str, int] = {}
+        self._frozen = False
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now_ns / 1000.0
+
+    def category_ns(self, category: str) -> int:
+        """Total nanoseconds charged under ``category`` (0 if never used)."""
+        return self._by_category.get(category, 0)
+
+    def categories(self) -> dict[str, int]:
+        """A copy of the per-category totals."""
+        return dict(self._by_category)
+
+    # -- charging ---------------------------------------------------------
+
+    def charge(self, ns: int, category: str = "uncategorized") -> None:
+        """Advance the clock by ``ns`` nanoseconds.
+
+        ``ns`` must be non-negative; a zero charge is legal and records
+        nothing.  While the clock is frozen (see :meth:`frozen`) charges
+        are ignored — used by setup code that should not pollute
+        measurements.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot charge negative time: {ns}")
+        if self._frozen or ns == 0:
+            return
+        self._now_ns += ns
+        self._by_category[category] = self._by_category.get(category, 0) + ns
+
+    @contextmanager
+    def frozen(self) -> Iterator[None]:
+        """Context manager during which all charges are discarded."""
+        prev = self._frozen
+        self._frozen = True
+        try:
+            yield
+        finally:
+            self._frozen = prev
+
+    # -- measurement helpers ----------------------------------------------
+
+    @contextmanager
+    def measure(self) -> Iterator["_Span"]:
+        """Context manager yielding a span whose ``elapsed_ns`` is the
+        simulated time consumed inside the block."""
+        span = _Span(self)
+        try:
+            yield span
+        finally:
+            span.stop()
+
+    def reset(self) -> None:
+        """Zero the clock and all category totals."""
+        self._now_ns = 0
+        self._by_category.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now_ns}ns)"
+
+
+class _Span:
+    """Elapsed-simulated-time span produced by :meth:`SimClock.measure`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now_ns
+        self._stop: int | None = None
+
+    def stop(self) -> None:
+        """Freeze the span at the current simulated time."""
+        if self._stop is None:
+            self._stop = self._clock.now_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        end = self._stop if self._stop is not None else self._clock.now_ns
+        return end - self._start
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_ns / 1000.0

@@ -1,0 +1,80 @@
+"""Event tracing.
+
+A bounded ring buffer of structured events.  Subsystems emit events
+("swap_out", "dma_write", "tpt_stale", ...) and tests/benchmarks assert on
+them — e.g. E1 verifies that the refcount backend's failure is caused by a
+``swap_out`` of a registered page, not by some unrelated path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    ts_ns: int                 #: simulated timestamp
+    kind: str                  #: event kind, e.g. ``"swap_out"``
+    detail: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.detail[key]
+
+
+class Trace:
+    """Bounded event log with simple querying.
+
+    ``maxlen`` bounds memory; experiments that need full history can set
+    it high.  Emission is O(1); queries are linear scans (traces are short
+    relative to simulation work).
+    """
+
+    def __init__(self, clock, maxlen: int = 65536) -> None:
+        self._clock = clock
+        self._events: Deque[TraceEvent] = deque(maxlen=maxlen)
+        self._counts: dict[str, int] = {}
+        self.enabled = True
+
+    def emit(self, kind: str, **detail: Any) -> None:
+        """Record an event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(self._clock.now_ns, kind, detail))
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    # -- querying -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def count(self, kind: str) -> int:
+        """Total number of events of ``kind`` ever emitted (survives ring
+        eviction)."""
+        return self._counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All retained events of ``kind``."""
+        return [e for e in self._events if e.kind == kind]
+
+    def where(self, pred: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """All retained events satisfying ``pred``."""
+        return [e for e in self._events if pred(e)]
+
+    def last(self, kind: str) -> TraceEvent | None:
+        """Most recent retained event of ``kind``, or None."""
+        for e in reversed(self._events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def clear(self) -> None:
+        """Drop retained events and counters."""
+        self._events.clear()
+        self._counts.clear()

@@ -1,0 +1,37 @@
+"""A simulated Virtual Interface Architecture (VIA 1.0-style) stack.
+
+Layers, bottom-up:
+
+* :mod:`repro.via.tpt` — the NIC's Translation and Protection Table;
+* :mod:`repro.via.descriptor` — send/receive/RDMA descriptors;
+* :mod:`repro.via.vi` / :mod:`repro.via.cq` — Virtual Interfaces, work
+  queues, doorbells, completion queues;
+* :mod:`repro.via.nic` — descriptor processing, protection checks, DMA;
+* :mod:`repro.via.fabric` — the interconnect between NICs;
+* :mod:`repro.via.locking` — the four memory-locking backends the paper
+  compares;
+* :mod:`repro.via.kernel_agent` — the VI Kernel Agent (driver);
+* :mod:`repro.via.user_agent` — the VI User Agent (VIPL-flavoured API);
+* :mod:`repro.via.machine` — a host (kernel + NICs) and clusters.
+"""
+
+from repro.via.constants import (
+    VIP_SUCCESS, VIP_NOT_DONE, DescriptorType, ReliabilityLevel, ViState,
+)
+from repro.via.descriptor import DataSegment, Descriptor
+from repro.via.tpt import MemoryRegion, TranslationProtectionTable
+from repro.via.vi import VirtualInterface
+from repro.via.cq import CompletionQueue
+from repro.via.nic import VIANic
+from repro.via.fabric import Fabric
+from repro.via.kernel_agent import KernelAgent, Registration
+from repro.via.user_agent import UserAgent
+from repro.via.machine import Cluster, Machine
+
+__all__ = [
+    "VIP_SUCCESS", "VIP_NOT_DONE", "DescriptorType", "ReliabilityLevel",
+    "ViState", "DataSegment", "Descriptor", "MemoryRegion",
+    "TranslationProtectionTable", "VirtualInterface", "CompletionQueue",
+    "VIANic", "Fabric", "KernelAgent", "Registration", "UserAgent",
+    "Cluster", "Machine",
+]

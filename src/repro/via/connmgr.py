@@ -1,0 +1,100 @@
+"""VIA connection management — the VIPL client/server model.
+
+"Two principles exist for the connection of two VI's, a client-server
+based one and a peer-to-peer based one" (Schindler et al., this
+collection).  This module implements the client/server model:
+
+* a server parks a VI under a *discriminator* (``VipConnectWait``),
+* a client addresses ``(remote NIC, discriminator)``
+  (``VipConnectRequest``); the manager matches them, checks reliability
+  compatibility, and completes the connection.
+
+The peer-to-peer model (both sides naming each other directly) is what
+:meth:`repro.via.fabric.Fabric.connect` already provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConnectionError_
+from repro.via.constants import ViState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.via.fabric import Fabric
+    from repro.via.nic import VIANic
+    from repro.via.vi import VirtualInterface
+
+
+@dataclass
+class _Listener:
+    nic: "VIANic"
+    vi: "VirtualInterface"
+    discriminator: bytes
+
+
+class ConnectionManager:
+    """Matchmaker for client/server VI connections on one fabric."""
+
+    def __init__(self, fabric: "Fabric") -> None:
+        self.fabric = fabric
+        #: (nic_name, discriminator) → listener
+        self._listeners: dict[tuple[str, bytes], _Listener] = {}
+        self.connects_completed = 0
+
+    # -- server side -----------------------------------------------------------
+
+    def listen(self, nic: "VIANic", vi: "VirtualInterface",
+               discriminator: bytes) -> None:
+        """``VipConnectWait``: park ``vi`` awaiting a client that names
+        ``(nic, discriminator)``.  One listener per address."""
+        if vi.state != ViState.IDLE:
+            raise ConnectionError_(
+                f"VI {vi.vi_id} must be idle to listen "
+                f"(is {vi.state.value})")
+        key = (nic.name, bytes(discriminator))
+        if key in self._listeners:
+            raise ConnectionError_(
+                f"discriminator {discriminator!r} already has a listener "
+                f"on {nic.name}")
+        self._listeners[key] = _Listener(nic, vi, bytes(discriminator))
+
+    def unlisten(self, nic: "VIANic", discriminator: bytes) -> None:
+        """Cancel a pending listen (idempotent)."""
+        self._listeners.pop((nic.name, bytes(discriminator)), None)
+
+    # -- client side ------------------------------------------------------------
+
+    def connect_request(self, nic: "VIANic", vi: "VirtualInterface",
+                        remote_nic_name: str,
+                        discriminator: bytes) -> "VirtualInterface":
+        """``VipConnectRequest``: connect ``vi`` to whatever is listening
+        at ``(remote_nic_name, discriminator)``.
+
+        Returns the server-side VI.  With no listener present the request
+        fails immediately (the synchronous-simulator equivalent of the
+        spec's connection timeout).
+        """
+        key = (remote_nic_name, bytes(discriminator))
+        listener = self._listeners.get(key)
+        if listener is None:
+            raise ConnectionError_(
+                f"no listener at {remote_nic_name}/{discriminator!r} "
+                f"(connection timeout)")
+        if listener.vi.reliability != vi.reliability:
+            # The spec rejects the request; the listener keeps waiting.
+            raise ConnectionError_(
+                f"reliability mismatch: client "
+                f"{vi.reliability.value}, server "
+                f"{listener.vi.reliability.value}")
+        del self._listeners[key]
+        self.fabric.connect(nic, vi.vi_id, listener.nic,
+                            listener.vi.vi_id)
+        self.connects_completed += 1
+        return listener.vi
+
+    @property
+    def pending(self) -> int:
+        """Number of parked listeners."""
+        return len(self._listeners)

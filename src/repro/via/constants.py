@@ -1,0 +1,59 @@
+"""VIA constants: status codes, enums, limits.
+
+Names follow the Virtual Interface Architecture Specification V1.0
+(Intel/Compaq/Microsoft, Dec 1997) and Intel's VIPL implementation guide,
+which the paper and its companion articles cite.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# -- VIP status codes ---------------------------------------------------------
+
+VIP_SUCCESS = "VIP_SUCCESS"
+VIP_NOT_DONE = "VIP_NOT_DONE"
+VIP_INVALID_PARAMETER = "VIP_INVALID_PARAMETER"
+VIP_ERROR_RESOURCE = "VIP_ERROR_RESOURCE"
+VIP_PROTECTION_ERROR = "VIP_PROTECTION_ERROR"
+VIP_INVALID_MEMORY = "VIP_INVALID_MEMORY"
+VIP_INVALID_STATE = "VIP_INVALID_STATE"
+VIP_ERROR_CONN_LOST = "VIP_ERROR_CONN_LOST"
+VIP_DESCRIPTOR_ERROR = "VIP_DESCRIPTOR_ERROR"
+
+
+class DescriptorType(enum.Enum):
+    """The VIA data-transfer operations."""
+
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+
+
+class ReliabilityLevel(enum.Enum):
+    """VI connection reliability levels (VIA spec §2.4)."""
+
+    UNRELIABLE = "unreliable"
+    RELIABLE_DELIVERY = "reliable_delivery"
+    RELIABLE_RECEPTION = "reliable_reception"
+
+
+class ViState(enum.Enum):
+    """VI connection state machine (simplified to the states the
+    experiments exercise)."""
+
+    IDLE = "idle"
+    CONNECTED = "connected"
+    ERROR = "error"
+
+
+#: Maximum scatter/gather segments per descriptor (typical HW limit).
+MAX_SEGMENTS = 8
+
+#: Maximum bytes of immediate data a descriptor can carry (VIA spec: the
+#: descriptor's ImmediateData field is 32 bits).
+IMMEDIATE_DATA_BYTES = 4
+
+#: Default TPT capacity, in page entries.
+DEFAULT_TPT_ENTRIES = 8192

@@ -1,0 +1,50 @@
+"""Completion queues.
+
+A CQ aggregates completions from the work queues of several VIs, so one
+poll loop can service many connections (how MPI progress engines use
+VIA).  Attachment happens at VI creation time, per work queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.via.descriptor import Descriptor
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion notification."""
+
+    vi_id: int
+    queue: str              #: ``"send"`` or ``"recv"``
+    descriptor: "Descriptor"
+
+
+class CompletionQueue:
+    """FIFO of :class:`Completion` notifications."""
+
+    def __init__(self, depth: int = 1024) -> None:
+        self.depth = depth
+        self._items: Deque[Completion] = deque()
+        self.overflows = 0
+
+    def post(self, completion: Completion) -> None:
+        """NIC side: append a completion (drops + counts on overflow,
+        like real hardware with a full CQ)."""
+        if len(self._items) >= self.depth:
+            self.overflows += 1
+            return
+        self._items.append(completion)
+
+    def poll(self) -> Completion | None:
+        """User side: pop the oldest completion, or None."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)

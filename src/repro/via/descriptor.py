@@ -1,0 +1,128 @@
+"""VIA descriptors.
+
+"VIA communication is completely based on explicit descriptor
+processing" — a descriptor names registered memory (memory handle +
+virtual address + length per segment) plus, for RDMA, the remote handle
+and address.  The NIC reads descriptors from host memory (we charge that
+DMA fetch) and completes them in place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError
+from repro.via.constants import (
+    IMMEDIATE_DATA_BYTES, MAX_SEGMENTS, VIP_NOT_DONE, DescriptorType,
+)
+
+_desc_ids = itertools.count(1)
+
+
+@dataclass
+class DataSegment:
+    """One scatter/gather segment of registered memory."""
+
+    mem_handle: int   #: handle returned by memory registration
+    va: int           #: virtual address within the registered region
+    length: int
+
+    def validate(self) -> None:
+        """Reject malformed segments before posting."""
+        if self.length < 0:
+            raise DescriptorError(f"negative segment length {self.length}")
+
+
+@dataclass
+class Descriptor:
+    """One VIA work-queue descriptor.
+
+    Completion state (``done``/``status``/``length_transferred``) is
+    written by the NIC; user code polls it (``VipSendDone`` style).
+    """
+
+    dtype: DescriptorType
+    segments: list[DataSegment] = field(default_factory=list)
+    #: up to 4 bytes travelling inside the descriptor itself
+    immediate_data: bytes | None = None
+    #: RDMA only: target registered region on the remote node
+    remote_handle: int | None = None
+    remote_va: int | None = None
+
+    # -- completion fields (owned by the NIC) --------------------------------
+    done: bool = False
+    status: str = VIP_NOT_DONE
+    length_transferred: int = 0
+    #: immediate data delivered into a receive descriptor
+    received_immediate: bytes | None = None
+
+    desc_id: int = field(default_factory=lambda: next(_desc_ids))
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def total_length(self) -> int:
+        """Sum of segment lengths."""
+        return sum(s.length for s in self.segments)
+
+    def validate(self) -> None:
+        """Sanity-check the descriptor before posting."""
+        if len(self.segments) > MAX_SEGMENTS:
+            raise DescriptorError(
+                f"{len(self.segments)} segments exceed the {MAX_SEGMENTS}-"
+                f"segment limit")
+        for seg in self.segments:
+            seg.validate()
+        if (self.immediate_data is not None
+                and len(self.immediate_data) > IMMEDIATE_DATA_BYTES):
+            raise DescriptorError(
+                f"immediate data limited to {IMMEDIATE_DATA_BYTES} bytes")
+        if self.dtype in (DescriptorType.RDMA_WRITE,
+                          DescriptorType.RDMA_READ):
+            if self.remote_handle is None or self.remote_va is None:
+                raise DescriptorError(
+                    f"{self.dtype.value} descriptor needs remote_handle "
+                    f"and remote_va")
+        elif self.remote_handle is not None or self.remote_va is not None:
+            raise DescriptorError(
+                f"{self.dtype.value} descriptor must not carry remote "
+                f"addressing")
+        if self.dtype == DescriptorType.RDMA_READ and self.immediate_data:
+            raise DescriptorError("RDMA read cannot carry immediate data")
+
+    def complete(self, status: str, length: int = 0) -> None:
+        """Mark the descriptor finished (NIC side)."""
+        self.done = True
+        self.status = status
+        self.length_transferred = length
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def send(cls, segments: list[DataSegment],
+             immediate: bytes | None = None) -> "Descriptor":
+        """Build a send descriptor."""
+        return cls(DescriptorType.SEND, segments, immediate_data=immediate)
+
+    @classmethod
+    def recv(cls, segments: list[DataSegment]) -> "Descriptor":
+        """Build a receive descriptor."""
+        return cls(DescriptorType.RECV, segments)
+
+    @classmethod
+    def rdma_write(cls, segments: list[DataSegment], remote_handle: int,
+                   remote_va: int,
+                   immediate: bytes | None = None) -> "Descriptor":
+        """Build an RDMA-write descriptor (one-sided; consumes a remote
+        receive descriptor only when immediate data is attached)."""
+        return cls(DescriptorType.RDMA_WRITE, segments,
+                   immediate_data=immediate, remote_handle=remote_handle,
+                   remote_va=remote_va)
+
+    @classmethod
+    def rdma_read(cls, segments: list[DataSegment], remote_handle: int,
+                  remote_va: int) -> "Descriptor":
+        """Build an RDMA-read descriptor (data flows remote → local)."""
+        return cls(DescriptorType.RDMA_READ, segments,
+                   remote_handle=remote_handle, remote_va=remote_va)

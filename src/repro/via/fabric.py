@@ -1,0 +1,144 @@
+"""The interconnect fabric between VIA NICs.
+
+Delivery is synchronous and deterministic: transmitting a packet calls
+straight into the destination NIC's delivery routine, charging wire
+latency to the (shared) simulated clock.  Optional packet loss can be
+injected for ``UNRELIABLE`` VIs to exercise reliability handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConnectionError_
+from repro.sim.rng import make_rng
+from repro.via.constants import (
+    VIP_SUCCESS, DescriptorType, ReliabilityLevel, ViState,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.via.nic import VIANic
+
+
+@dataclass
+class Packet:
+    """One fabric packet (a VIA transfer fits in one simulator packet;
+    segmentation does not change any behaviour the paper reasons about)."""
+
+    kind: DescriptorType
+    src_nic: str
+    src_vi: int
+    dst_nic: str
+    dst_vi: int
+    payload: bytes = b""
+    immediate: bytes | None = None
+    #: RDMA only
+    remote_handle: int | None = None
+    remote_va: int | None = None
+    #: RDMA read only: how many bytes to fetch
+    read_length: int = 0
+
+
+class Fabric:
+    """Registry of NICs plus the wire between them."""
+
+    def __init__(self, seed: int = 0, loss_rate: float = 0.0) -> None:
+        self.nics: dict[str, "VIANic"] = {}
+        self.loss_rate = loss_rate
+        self._rng = make_rng(seed)
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self._connmgr = None
+
+    @property
+    def connmgr(self):
+        """The fabric's client/server connection manager (lazy)."""
+        if self._connmgr is None:
+            from repro.via.connmgr import ConnectionManager
+            self._connmgr = ConnectionManager(self)
+        return self._connmgr
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, nic: "VIANic") -> None:
+        """Attach a NIC; names must be unique fabric-wide."""
+        if nic.name in self.nics:
+            raise ConnectionError_(f"NIC name {nic.name!r} already attached")
+        self.nics[nic.name] = nic
+        nic.fabric = self
+
+    def nic(self, name: str) -> "VIANic":
+        """Look an attached NIC up by name."""
+        nic = self.nics.get(name)
+        if nic is None:
+            raise ConnectionError_(f"no NIC named {name!r} on this fabric")
+        return nic
+
+    # -- connection management ------------------------------------------------
+
+    def connect(self, nic_a: "VIANic", vi_a: int, nic_b: "VIANic",
+                vi_b: int) -> None:
+        """Connect two VIs point-to-point (client/server handshake
+        collapsed into one deterministic step)."""
+        a = nic_a.vi(vi_a)
+        b = nic_b.vi(vi_b)
+        if a.state != ViState.IDLE or b.state != ViState.IDLE:
+            raise ConnectionError_(
+                f"both VIs must be idle (got {a.state.value}, "
+                f"{b.state.value})")
+        if a.reliability != b.reliability:
+            raise ConnectionError_(
+                f"reliability mismatch: {a.reliability.value} vs "
+                f"{b.reliability.value}")
+        if a is b:
+            raise ConnectionError_("cannot connect a VI to itself")
+        a.peer = (nic_b.name, vi_b)
+        b.peer = (nic_a.name, vi_a)
+        a.state = b.state = ViState.CONNECTED
+
+    def disconnect(self, nic_a: "VIANic", vi_a: int) -> None:
+        """Tear a connection down from one side; the peer goes to ERROR
+        if it was still connected (it lost its connection)."""
+        a = nic_a.vi(vi_a)
+        if a.peer is not None:
+            peer_nic, peer_vi = a.peer
+            b = self.nic(peer_nic).vi(peer_vi)
+            if b.state == ViState.CONNECTED:
+                b.enter_error()
+        a.peer = None
+        a.state = ViState.IDLE
+
+    # -- the wire -----------------------------------------------------------------
+
+    def _charge_wire(self, nic: "VIANic", nbytes: int) -> None:
+        costs = nic.kernel.costs
+        nic.kernel.clock.charge(costs.nic_wire_latency_ns, "wire")
+        nic.kernel.clock.charge(costs.dma_ns(nbytes), "wire")
+
+    def transmit(self, src: "VIANic", packet: Packet,
+                 reliability: ReliabilityLevel) -> str:
+        """Carry ``packet`` to its destination NIC; returns the delivery
+        status (``VIP_SUCCESS`` or an error code)."""
+        self.packets_sent += 1
+        self._charge_wire(src, len(packet.payload))
+        if (reliability == ReliabilityLevel.UNRELIABLE
+                and self.loss_rate > 0.0
+                and self._rng.random() < self.loss_rate):
+            self.packets_dropped += 1
+            src.kernel.trace.emit("packet_lost", dst=packet.dst_nic,
+                                  vi=packet.dst_vi)
+            return VIP_SUCCESS   # fire-and-forget: sender never knows
+        dst = self.nic(packet.dst_nic)
+        return dst.deliver(packet, reliability)
+
+    def rdma_read_fetch(self, src: "VIANic", packet: Packet,
+                        reliability: ReliabilityLevel
+                        ) -> tuple[str, bytes]:
+        """Round-trip an RDMA-read request; returns (status, payload)."""
+        self.packets_sent += 2   # request + response
+        self._charge_wire(src, 0)
+        dst = self.nic(packet.dst_nic)
+        status, payload = dst.serve_rdma_read(packet, reliability)
+        self._charge_wire(src, len(payload))
+        return status, payload

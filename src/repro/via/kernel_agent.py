@@ -1,0 +1,148 @@
+"""The VI Kernel Agent — the device driver.
+
+"The Kernel Agent is a kernel-level device driver that performs
+operations that require kernel calls (e.g. memory registration)."
+
+It owns protection-tag allocation, memory registration (delegating the
+pinning itself to a pluggable :class:`~repro.via.locking.base.
+LockingBackend` and the translation bookkeeping to the NIC's TPT), VI
+creation, and connection setup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidArgument, NotRegistered
+from repro.via.constants import ReliabilityLevel
+from repro.via.cq import CompletionQueue
+from repro.via.locking import make_backend
+from repro.via.locking.base import LockingBackend
+from repro.via.tpt import MemoryRegion
+from repro.via.vi import VirtualInterface
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+    from repro.via.nic import VIANic
+
+_tags = itertools.count(0x100)
+
+
+@dataclass
+class Registration:
+    """Driver-side record of one memory registration."""
+
+    region: MemoryRegion
+    pid: int
+    va: int
+    nbytes: int
+    backend_name: str
+
+    @property
+    def handle(self) -> int:
+        return self.region.handle
+
+
+class KernelAgent:
+    """Driver instance binding one NIC to one kernel."""
+
+    def __init__(self, kernel: "Kernel", nic: "VIANic",
+                 backend: LockingBackend | str = "kiobuf") -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.backend: LockingBackend = (
+            make_backend(backend) if isinstance(backend, str) else backend)
+        #: protection tag per pid ("usually, a process uses a unique
+        #: protection tag which is created after opening the VIA
+        #: environment")
+        self._tags: dict[int, int] = {}
+        #: live registrations by handle
+        self.registrations: dict[int, Registration] = {}
+
+    # ---------------------------------------------------------------- open
+
+    def open_nic(self, task: "Task") -> int:
+        """Open the NIC for ``task``; allocates (once) and returns its
+        protection tag."""
+        self.kernel.clock.charge(self.kernel.costs.syscall_ns, "via_setup")
+        tag = self._tags.get(task.pid)
+        if tag is None:
+            tag = next(_tags)
+            self._tags[task.pid] = tag
+        return tag
+
+    def prot_tag(self, task: "Task") -> int:
+        """The task's protection tag (must have opened the NIC)."""
+        tag = self._tags.get(task.pid)
+        if tag is None:
+            raise InvalidArgument(
+                f"{task.name} has not opened NIC {self.nic.name}")
+        return tag
+
+    # ---------------------------------------------------------- registration
+
+    def register_memory(self, task: "Task", va: int, nbytes: int,
+                        rdma_write: bool = False,
+                        rdma_read: bool = False) -> Registration:
+        """Register ``[va, va+nbytes)``: pin via the backend, record the
+        physical pages in the TPT under the task's protection tag.
+
+        The VIA spec "explicitly allows memory regions to be registered
+        several times"; whether that actually *works* depends on the
+        backend (see :mod:`repro.via.locking`).
+        """
+        if nbytes <= 0:
+            raise InvalidArgument(f"cannot register {nbytes} bytes")
+        tag = self.prot_tag(task)
+        result = self.backend.lock(self.kernel, task, va, nbytes)
+        try:
+            region = self.nic.tpt.install(
+                va_base=va, nbytes=nbytes, prot_tag=tag,
+                frames=result.frames, rdma_write=rdma_write,
+                rdma_read=rdma_read, lock_cookie=result.cookie)
+        except Exception:
+            self.backend.unlock(self.kernel, result.cookie)
+            raise
+        self.kernel.clock.charge(
+            len(result.frames) * self.kernel.costs.tpt_update_ns,
+            "register")
+        reg = Registration(region=region, pid=task.pid, va=va,
+                           nbytes=nbytes, backend_name=self.backend.name)
+        self.registrations[region.handle] = reg
+        self.kernel.trace.emit("via_register", pid=task.pid, va=va,
+                               nbytes=nbytes, handle=region.handle,
+                               backend=self.backend.name)
+        return reg
+
+    def deregister_memory(self, handle: int) -> None:
+        """Deregister a region: drop the TPT entries, release the pin."""
+        reg = self.registrations.pop(handle, None)
+        if reg is None:
+            raise NotRegistered(f"no registration with handle {handle}")
+        region = self.nic.tpt.remove(handle)
+        self.kernel.clock.charge(
+            region.npages * self.kernel.costs.tpt_update_ns, "register")
+        self.backend.unlock(self.kernel, region.lock_cookie)
+        self.kernel.trace.emit("via_deregister", handle=handle,
+                               backend=self.backend.name)
+
+    def registrations_of(self, pid: int) -> list[Registration]:
+        """All live registrations of one process."""
+        return [r for r in self.registrations.values() if r.pid == pid]
+
+    # -------------------------------------------------------------------- VIs
+
+    def create_vi(self, task: "Task",
+                  reliability: ReliabilityLevel =
+                  ReliabilityLevel.RELIABLE_DELIVERY,
+                  send_cq: CompletionQueue | None = None,
+                  recv_cq: CompletionQueue | None = None
+                  ) -> VirtualInterface:
+        """Create a VI for ``task`` under its protection tag."""
+        self.kernel.clock.charge(self.kernel.costs.syscall_ns, "via_setup")
+        tag = self.prot_tag(task)
+        return self.nic.create_vi(task.pid, tag, reliability=reliability,
+                                  send_cq=send_cq, recv_cq=recv_cq)

@@ -1,0 +1,60 @@
+"""Memory-locking backends for VIA registration.
+
+Four implementations of the same interface, reproducing the four
+approaches Section 3 of the paper analyses:
+
+===============  =========================================  ========== ==========
+backend          models                                      reliable?  multiple
+                                                                        regs?
+===============  =========================================  ========== ==========
+``refcount``     Berkeley-VIA, M-VIA (refcount only)         **no**     yes
+``pageflags``    Giganet cLAN (refcount + PG_locked/          while      **no** —
+                 PG_reserved, cleared unconditionally)       registered  unsafe
+``mlock_naive``  VMA/do_mlock without driver bookkeeping     yes         **no**
+``mlock``        VMA/do_mlock + per-page range accounting    yes         yes*
+``kiobuf``       the paper's proposal                        yes         yes
+===============  =========================================  ========== ==========
+
+(*) at the cost of driver-side bookkeeping and page-table walks the
+mainline kernel forbids.
+
+A sixth, historical approach — ``BigphysLocking`` over a boot-time
+:class:`~repro.kernel.bigphys.BigPhysArea` reservation — is reliable
+but restricts registration to specially-allocated memory (the pre-VIA
+SCI driver design the collection criticises).  It needs an area
+instance, so it is constructed explicitly rather than via the registry.
+"""
+
+from repro.via.locking.base import LockingBackend, LockResult
+from repro.via.locking.refcount import RefcountLocking
+from repro.via.locking.pageflags import PageFlagLocking
+from repro.via.locking.vma_mlock import MlockLocking
+from repro.via.locking.kiobuf import KiobufLocking
+from repro.via.locking.bigphys import BigphysLocking
+
+#: Registry of backend factories by name.
+BACKENDS = {
+    "refcount": RefcountLocking,
+    "pageflags": PageFlagLocking,
+    "mlock_naive": lambda: MlockLocking(track_ranges=False),
+    "mlock": lambda: MlockLocking(track_ranges=True),
+    "kiobuf": KiobufLocking,
+}
+
+
+def make_backend(name: str) -> LockingBackend:
+    """Instantiate a backend by registry name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown locking backend {name!r}; "
+            f"choose from {sorted(BACKENDS)}") from None
+    return factory()
+
+
+__all__ = [
+    "LockingBackend", "LockResult", "RefcountLocking", "PageFlagLocking",
+    "MlockLocking", "KiobufLocking", "BigphysLocking", "BACKENDS",
+    "make_backend",
+]

@@ -1,0 +1,61 @@
+"""Bigphysarea "locking" — registration restricted to the reserved
+region.
+
+No locking work is needed at registration time: the region's frames are
+``PG_reserved`` from boot, so they can never move.  The price is the
+constraint the collection calls out: "data transfers can happen on the
+reserved memory region only, this would require the MPI applications to
+use special malloc() functions ... but this violates a major goal of
+the MPI standard: Architecture Independence."  A buffer that did not
+come from :class:`~repro.kernel.bigphys.BigPhysArea` is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidArgument
+from repro.kernel.bigphys import BigPhysArea
+from repro.via.locking.base import LockingBackend, LockResult, range_vpns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class BigphysLocking(LockingBackend):
+    """Accepts only buffers allocated from the bigphysarea."""
+
+    name = "bigphys"
+    reliable = True
+    supports_multiple_registration = True   # reservation never moves
+    walks_page_tables = True
+
+    def __init__(self, area: BigPhysArea) -> None:
+        self.area = area
+
+    def lock(self, kernel: "Kernel", task: "Task", va: int,
+             nbytes: int) -> LockResult:
+        kernel.clock.charge(kernel.costs.syscall_ns, "register")
+        start_vpn, end_vpn = range_vpns(va, nbytes)
+        frames: list[int] = []
+        for vpn in range(start_vpn, end_vpn):
+            pte = task.page_table.lookup(vpn)
+            if pte is None or not pte.present or \
+                    not self.area.contains(pte.frame):
+                raise InvalidArgument(
+                    f"buffer page vpn {vpn} was not allocated from the "
+                    f"bigphysarea; ordinary malloc'd memory cannot be "
+                    f"registered with this driver")
+            kernel.clock.charge(kernel.costs.pagetable_walk_ns,
+                                "register")
+            frames.append(pte.frame)
+        kernel.trace.emit("lock_bigphys", pid=task.pid, va=va,
+                          npages=len(frames))
+        return LockResult(frames=frames, cookie=("bigphys", frames))
+
+    def unlock(self, kernel: "Kernel", cookie: object) -> None:
+        kind, _frames = cookie  # type: ignore[misc]
+        assert kind == "bigphys"
+        kernel.clock.charge(kernel.costs.syscall_ns, "register")
+        # Nothing to release: the reservation outlives registrations.

@@ -1,0 +1,339 @@
+"""The VIA NIC: descriptor processing, protection enforcement, DMA.
+
+Processing is synchronous and deterministic: posting a send executes the
+transfer immediately (doorbell → descriptor fetch → TPT translation →
+DMA → wire → remote delivery), charging every step to the simulated
+clock.  All memory traffic goes through the NIC's own
+:class:`~repro.hw.dma.DMAEngine` using **physical addresses recorded in
+the TPT at registration time** — the property under test.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    ConnectionError_, DescriptorError, NotRegistered, ProtectionError,
+    ViaError,
+)
+from repro.hw.dma import DMAEngine
+from repro.via.constants import (
+    VIP_DESCRIPTOR_ERROR, VIP_ERROR_CONN_LOST, VIP_NOT_DONE,
+    VIP_SUCCESS, DescriptorType, ReliabilityLevel, ViState,
+)
+from repro.via.cq import CompletionQueue
+from repro.via.descriptor import Descriptor
+from repro.via.fabric import Packet
+from repro.via.tpt import TranslationProtectionTable
+from repro.via.vi import VirtualInterface
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.via.fabric import Fabric
+
+
+class VIANic:
+    """One VIA network interface controller."""
+
+    def __init__(self, name: str, kernel: "Kernel",
+                 tpt_entries: int = 8192) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.tpt = TranslationProtectionTable(tpt_entries)
+        self.dma = DMAEngine(kernel.phys, kernel.clock, kernel.costs,
+                             kernel.trace, name=f"{name}-dma")
+        self.vis: dict[int, VirtualInterface] = {}
+        self.fabric: "Fabric | None" = None
+        self._next_vi_id = 1
+        # counters
+        self.sends_completed = 0
+        self.recvs_completed = 0
+        self.rdma_writes_completed = 0
+        self.rdma_reads_completed = 0
+        self.recv_drops = 0           #: arrivals with no posted descriptor
+        self.protection_faults = 0
+
+    # ------------------------------------------------------------------ VIs
+
+    def create_vi(self, owner_pid: int, prot_tag: int,
+                  reliability: ReliabilityLevel =
+                  ReliabilityLevel.RELIABLE_DELIVERY,
+                  send_cq: CompletionQueue | None = None,
+                  recv_cq: CompletionQueue | None = None
+                  ) -> VirtualInterface:
+        """Create a VI owned by ``owner_pid`` under ``prot_tag``."""
+        vi = VirtualInterface(self._next_vi_id, owner_pid, prot_tag,
+                              reliability=reliability)
+        vi.send_cq = send_cq
+        vi.recv_cq = recv_cq
+        self._next_vi_id += 1
+        self.vis[vi.vi_id] = vi
+        return vi
+
+    def vi(self, vi_id: int) -> VirtualInterface:
+        """Look a VI up by id."""
+        vi = self.vis.get(vi_id)
+        if vi is None:
+            raise ConnectionError_(f"{self.name}: no VI {vi_id}")
+        return vi
+
+    def destroy_vi(self, vi_id: int) -> None:
+        """Remove a VI (must be disconnected)."""
+        vi = self.vi(vi_id)
+        if vi.state == ViState.CONNECTED:
+            raise ConnectionError_(
+                f"VI {vi_id} is still connected")
+        del self.vis[vi_id]
+
+    # ----------------------------------------------------------- descriptor posting
+
+    def _charge_post(self) -> None:
+        costs = self.kernel.costs
+        self.kernel.clock.charge(costs.descriptor_build_ns, "via_cpu")
+        self.kernel.clock.charge(costs.doorbell_ring_ns, "via_cpu")
+        self.kernel.clock.charge(costs.descriptor_fetch_ns, "via_nic")
+
+    def post_recv(self, vi_id: int, desc: Descriptor, pid: int) -> None:
+        """Post a receive descriptor (must precede the matching send)."""
+        vi = self.vi(vi_id)
+        desc.validate()
+        if desc.dtype != DescriptorType.RECV:
+            raise DescriptorError(
+                f"cannot post a {desc.dtype.value} descriptor to a "
+                f"receive queue")
+        vi.recv_doorbell.ring(pid)
+        self._charge_post()
+        desc.done = False
+        desc.status = VIP_NOT_DONE
+        vi.recv_queue.append(desc)
+
+    def post_send(self, vi_id: int, desc: Descriptor, pid: int) -> None:
+        """Post a send/RDMA descriptor and process it immediately."""
+        vi = self.vi(vi_id)
+        desc.validate()
+        if desc.dtype == DescriptorType.RECV:
+            raise DescriptorError(
+                "cannot post a recv descriptor to a send queue")
+        vi.send_doorbell.ring(pid)
+        vi.require_connected()
+        self._charge_post()
+        desc.done = False
+        desc.status = VIP_NOT_DONE
+        vi.send_queue.append(desc)
+        self._process_send_queue(vi)
+
+    # --------------------------------------------------------------- send processing
+
+    def _translate_local(self, vi: VirtualInterface, desc: Descriptor
+                         ) -> list[tuple[int, int]]:
+        """Translate the descriptor's local segments under the VI's tag."""
+        segments: list[tuple[int, int]] = []
+        for seg in desc.segments:
+            segments.extend(self.tpt.translate(
+                seg.mem_handle, seg.va, seg.length, vi.prot_tag))
+        return segments
+
+    def _fail_send(self, vi: VirtualInterface, desc: Descriptor,
+                   status: str) -> None:
+        """Complete a send descriptor in error; break the connection for
+        reliable modes (VIA spec: errors are connection-fatal there)."""
+        self.protection_faults += 1
+        desc.complete(status)
+        vi.complete_send(desc)
+        self.kernel.trace.emit("via_send_error", nic=self.name,
+                               vi=vi.vi_id, status=status)
+        if vi.reliability != ReliabilityLevel.UNRELIABLE:
+            vi.enter_error()
+
+    def _process_send_queue(self, vi: VirtualInterface) -> None:
+        while vi.send_queue and vi.state == ViState.CONNECTED:
+            desc = vi.send_queue.popleft()
+            self._execute_send(vi, desc)
+
+    def _execute_send(self, vi: VirtualInterface, desc: Descriptor) -> None:
+        assert self.fabric is not None, "NIC not attached to a fabric"
+        assert vi.peer is not None
+        dst_nic, dst_vi = vi.peer
+
+        # Local translation + protection.
+        try:
+            local_segs = self._translate_local(vi, desc)
+        except (ProtectionError, NotRegistered) as exc:
+            self._fail_send(vi, desc, exc.status)
+            return
+
+        if desc.dtype == DescriptorType.RDMA_READ:
+            self._execute_rdma_read(vi, desc, local_segs)
+            return
+
+        payload = self.dma.read_gather(local_segs)
+        packet = Packet(
+            kind=desc.dtype, src_nic=self.name, src_vi=vi.vi_id,
+            dst_nic=dst_nic, dst_vi=dst_vi, payload=payload,
+            immediate=desc.immediate_data,
+            remote_handle=desc.remote_handle, remote_va=desc.remote_va)
+        status = self.fabric.transmit(self, packet, vi.reliability)
+
+        if status == VIP_SUCCESS or vi.reliability == \
+                ReliabilityLevel.UNRELIABLE:
+            desc.complete(VIP_SUCCESS, len(payload))
+            vi.complete_send(desc)
+            if desc.dtype == DescriptorType.SEND:
+                self.sends_completed += 1
+            else:
+                self.rdma_writes_completed += 1
+        else:
+            desc.complete(status, 0)
+            vi.complete_send(desc)
+            vi.enter_error()
+
+    def _execute_rdma_read(self, vi: VirtualInterface, desc: Descriptor,
+                           local_segs: list[tuple[int, int]]) -> None:
+        assert self.fabric is not None and vi.peer is not None
+        dst_nic, dst_vi = vi.peer
+        packet = Packet(
+            kind=DescriptorType.RDMA_READ, src_nic=self.name,
+            src_vi=vi.vi_id, dst_nic=dst_nic, dst_vi=dst_vi,
+            remote_handle=desc.remote_handle, remote_va=desc.remote_va,
+            read_length=desc.total_length)
+        status, payload = self.fabric.rdma_read_fetch(self, packet,
+                                                      vi.reliability)
+        if status != VIP_SUCCESS:
+            desc.complete(status, 0)
+            vi.complete_send(desc)
+            if vi.reliability != ReliabilityLevel.UNRELIABLE:
+                vi.enter_error()
+            return
+        self.dma.write_scatter(
+            _trim_segments(local_segs, len(payload)), payload)
+        desc.complete(VIP_SUCCESS, len(payload))
+        vi.complete_send(desc)
+        self.rdma_reads_completed += 1
+
+    # --------------------------------------------------------------- delivery side
+
+    def deliver(self, packet: Packet, reliability: ReliabilityLevel) -> str:
+        """Accept an inbound packet from the fabric; returns a status the
+        fabric relays to the sender."""
+        vi = self.vis.get(packet.dst_vi)
+        if vi is None or vi.state != ViState.CONNECTED or \
+                vi.peer != (packet.src_nic, packet.src_vi):
+            return VIP_ERROR_CONN_LOST
+
+        if packet.kind == DescriptorType.SEND:
+            return self._deliver_send(vi, packet, reliability)
+        if packet.kind == DescriptorType.RDMA_WRITE:
+            return self._deliver_rdma_write(vi, packet, reliability)
+        raise ViaError(f"cannot deliver packet kind {packet.kind}")
+
+    def _deliver_send(self, vi: VirtualInterface, packet: Packet,
+                      reliability: ReliabilityLevel) -> str:
+        if not vi.recv_queue:
+            # "A receive descriptor ... has to be posted before the
+            # sender's data arrives."  Unreliable: silent drop.
+            # Reliable: the connection is broken.
+            self.recv_drops += 1
+            self.kernel.trace.emit("via_recv_drop", nic=self.name,
+                                   vi=vi.vi_id)
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return VIP_ERROR_CONN_LOST
+        desc = vi.recv_queue.popleft()
+        if desc.total_length < len(packet.payload):
+            desc.complete(VIP_DESCRIPTOR_ERROR, 0)
+            vi.complete_recv(desc)
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return VIP_DESCRIPTOR_ERROR
+        try:
+            segs = self._translate_local(vi, desc)
+        except (ProtectionError, NotRegistered) as exc:
+            self.protection_faults += 1
+            desc.complete(exc.status, 0)
+            vi.complete_recv(desc)
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return exc.status
+        self.dma.write_scatter(
+            _trim_segments(segs, len(packet.payload)), packet.payload)
+        desc.received_immediate = packet.immediate
+        desc.complete(VIP_SUCCESS, len(packet.payload))
+        self.kernel.clock.charge(self.kernel.costs.completion_post_ns,
+                                 "via_nic")
+        vi.complete_recv(desc)
+        self.recvs_completed += 1
+        return VIP_SUCCESS
+
+    def _deliver_rdma_write(self, vi: VirtualInterface, packet: Packet,
+                            reliability: ReliabilityLevel) -> str:
+        assert packet.remote_handle is not None
+        assert packet.remote_va is not None
+        try:
+            segs = self.tpt.translate(
+                packet.remote_handle, packet.remote_va,
+                len(packet.payload), vi.prot_tag, rdma_write=True)
+        except (ProtectionError, NotRegistered) as exc:
+            self.protection_faults += 1
+            self.kernel.trace.emit("via_rdma_protfault", nic=self.name,
+                                   vi=vi.vi_id, status=exc.status)
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return exc.status
+        self.dma.write_scatter(segs, packet.payload)
+        # Immediate data makes the RDMA write visible to the receiver by
+        # consuming one receive descriptor (VIA spec §2.2.2).
+        if packet.immediate is not None:
+            if not vi.recv_queue:
+                self.recv_drops += 1
+                if reliability == ReliabilityLevel.UNRELIABLE:
+                    return VIP_SUCCESS
+                vi.enter_error()
+                return VIP_ERROR_CONN_LOST
+            desc = vi.recv_queue.popleft()
+            desc.received_immediate = packet.immediate
+            desc.complete(VIP_SUCCESS, 0)
+            vi.complete_recv(desc)
+        return VIP_SUCCESS
+
+    def serve_rdma_read(self, packet: Packet,
+                        reliability: ReliabilityLevel
+                        ) -> tuple[str, bytes]:
+        """Serve an inbound RDMA-read request: translate and fetch."""
+        vi = self.vis.get(packet.dst_vi)
+        if vi is None or vi.state != ViState.CONNECTED or \
+                vi.peer != (packet.src_nic, packet.src_vi):
+            return VIP_ERROR_CONN_LOST, b""
+        assert packet.remote_handle is not None
+        assert packet.remote_va is not None
+        try:
+            segs = self.tpt.translate(
+                packet.remote_handle, packet.remote_va,
+                packet.read_length, vi.prot_tag, rdma_read=True)
+        except (ProtectionError, NotRegistered) as exc:
+            self.protection_faults += 1
+            if reliability != ReliabilityLevel.UNRELIABLE:
+                vi.enter_error()
+            return exc.status, b""
+        return VIP_SUCCESS, self.dma.read_gather(segs)
+
+
+def _trim_segments(segments: list[tuple[int, int]],
+                   nbytes: int) -> list[tuple[int, int]]:
+    """Clip a segment list to its first ``nbytes`` bytes (payload shorter
+    than the posted buffer)."""
+    out: list[tuple[int, int]] = []
+    remaining = nbytes
+    for addr, length in segments:
+        if remaining <= 0:
+            break
+        n = min(length, remaining)
+        out.append((addr, n))
+        remaining -= n
+    if remaining > 0:
+        raise DescriptorError(
+            f"segments cover {nbytes - remaining} bytes, need {nbytes}")
+    return out

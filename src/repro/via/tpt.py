@@ -1,0 +1,163 @@
+"""The Translation and Protection Table (TPT).
+
+"All memory which is to be used to hold descriptors or data buffers must
+be registered in advance.  That means that all involved memory pages are
+locked into physical memory and the addresses are stored in the NIC's
+Translation and Protection Table."
+
+The TPT records, **at registration time**, the physical frame of every
+page of a region, together with the owner's protection tag and the
+region's RDMA enables.  All later translation happens against these
+recorded frames — the NIC has no way to notice that the kernel moved a
+page.  That asymmetry is the entire failure mode of Section 3.1, so this
+module deliberately performs *no* freshness checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import NotRegistered, ProtectionError, ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.constants import DEFAULT_TPT_ENTRIES
+
+_handles = itertools.count(1)
+
+
+@dataclass
+class MemoryRegion:
+    """One registered region: the NIC-visible view of a user buffer."""
+
+    handle: int
+    va_base: int                 #: user virtual base address
+    nbytes: int
+    prot_tag: int
+    frames: list[int]            #: physical frame per page, captured at
+                                 #: registration time
+    rdma_write_enable: bool = False
+    rdma_read_enable: bool = False
+    valid: bool = True
+    #: opaque cookie the locking backend returned; owned by the Kernel
+    #: Agent, carried here so deregistration can find it
+    lock_cookie: object = field(default=None, compare=False)
+
+    @property
+    def npages(self) -> int:
+        return len(self.frames)
+
+    @property
+    def first_vpn(self) -> int:
+        return self.va_base // PAGE_SIZE
+
+    def covers(self, va: int, length: int) -> bool:
+        """True iff ``[va, va+length)`` lies inside the region."""
+        return (length >= 0 and va >= self.va_base
+                and va + length <= self.va_base + self.nbytes)
+
+
+class TranslationProtectionTable:
+    """Per-NIC table of registered regions.
+
+    Capacity is counted in *page entries*, like real TPT silicon: a
+    1024-entry TPT can hold e.g. one 1024-page region or 256 four-page
+    regions.  Registration fails with ``VIP_ERROR_RESOURCE`` when full —
+    the resource limit that forces MPI layers to deregister and motivates
+    the registration cache.
+    """
+
+    def __init__(self, capacity_entries: int = DEFAULT_TPT_ENTRIES) -> None:
+        self.capacity_entries = capacity_entries
+        self.regions: dict[int, MemoryRegion] = {}
+        self.entries_used = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def install(self, va_base: int, nbytes: int, prot_tag: int,
+                frames: list[int], rdma_write: bool = False,
+                rdma_read: bool = False,
+                lock_cookie: object = None) -> MemoryRegion:
+        """Install a region; returns it with a fresh handle."""
+        if len(frames) == 0:
+            raise ViaError("cannot register an empty region")
+        if self.entries_used + len(frames) > self.capacity_entries:
+            raise ViaError(
+                f"TPT full: {self.entries_used}/{self.capacity_entries} "
+                f"entries used, {len(frames)} requested",
+                status="VIP_ERROR_RESOURCE")
+        region = MemoryRegion(
+            handle=next(_handles), va_base=va_base, nbytes=nbytes,
+            prot_tag=prot_tag, frames=list(frames),
+            rdma_write_enable=rdma_write, rdma_read_enable=rdma_read,
+            lock_cookie=lock_cookie)
+        self.regions[region.handle] = region
+        self.entries_used += len(frames)
+        return region
+
+    def remove(self, handle: int) -> MemoryRegion:
+        """Invalidate and drop a region; returns it (for its cookie)."""
+        region = self.regions.pop(handle, None)
+        if region is None:
+            raise NotRegistered(f"no region with handle {handle}")
+        region.valid = False
+        self.entries_used -= region.npages
+        return region
+
+    def lookup(self, handle: int) -> MemoryRegion:
+        """The region for ``handle`` (must be valid)."""
+        region = self.regions.get(handle)
+        if region is None or not region.valid:
+            raise NotRegistered(f"no region with handle {handle}")
+        return region
+
+    # -- translation --------------------------------------------------------------
+
+    def translate(self, handle: int, va: int, length: int, prot_tag: int,
+                  *, rdma_write: bool = False,
+                  rdma_read: bool = False) -> list[tuple[int, int]]:
+        """Translate ``[va, va+length)`` of a region into flat physical
+        ``(addr, len)`` segments, enforcing protection.
+
+        Checks, in hardware order:
+
+        1. the handle names a valid region (``VIP_INVALID_MEMORY``),
+        2. the protection tag of the requesting VI equals the region's
+           tag (``VIP_PROTECTION_ERROR``),
+        3. the access kind is enabled on the region (RDMA enables),
+        4. the span lies within the region.
+
+        What is *not* checked — because the hardware cannot — is whether
+        the recorded frames still back the owner's virtual pages.
+        """
+        region = self.lookup(handle)
+        if region.prot_tag != prot_tag:
+            raise ProtectionError(
+                f"protection tag mismatch on handle {handle}: region tag "
+                f"{region.prot_tag}, VI tag {prot_tag}")
+        if rdma_write and not region.rdma_write_enable:
+            raise ProtectionError(
+                f"RDMA write not enabled on handle {handle}")
+        if rdma_read and not region.rdma_read_enable:
+            raise ProtectionError(
+                f"RDMA read not enabled on handle {handle}")
+        if not region.covers(va, length):
+            raise NotRegistered(
+                f"span [{va}, {va + length}) outside region "
+                f"[{region.va_base}, {region.va_base + region.nbytes})")
+        segments: list[tuple[int, int]] = []
+        remaining = length
+        cursor = va
+        while remaining > 0:
+            page_index = (cursor - region.first_vpn * PAGE_SIZE) // PAGE_SIZE
+            offset = cursor % PAGE_SIZE
+            n = min(remaining, PAGE_SIZE - offset)
+            frame = region.frames[page_index]
+            segments.append((frame * PAGE_SIZE + offset, n))
+            cursor += n
+            remaining -= n
+        return segments
+
+    @property
+    def entries_free(self) -> int:
+        """Remaining page-entry capacity."""
+        return self.capacity_entries - self.entries_used

@@ -1,0 +1,11 @@
+"""Workload generators: memory hogs and message-traffic patterns."""
+
+from repro.workloads.allocator import MemoryHog, apply_memory_pressure
+from repro.workloads.patterns import (
+    buffer_reuse_trace, size_sweep, SweepPoint,
+)
+
+__all__ = [
+    "MemoryHog", "apply_memory_pressure", "buffer_reuse_trace",
+    "size_sweep", "SweepPoint",
+]

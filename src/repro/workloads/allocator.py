@@ -1,0 +1,65 @@
+"""The *allocator* process of the paper's experiment (step 3).
+
+"Now we start another allocator process that allocates as much memory as
+possible forcing a large amount of pages to be swapped out."
+
+"Due to the demand paging mechanism it is necessary to write to the
+allocated pages ... and really consume physical memory" — so the hog
+*touches* everything it allocates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hw.physmem import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class MemoryHog:
+    """A task that consumes physical memory on demand."""
+
+    def __init__(self, kernel: "Kernel", name: str = "allocator") -> None:
+        self.kernel = kernel
+        self.task: "Task" = kernel.create_task(name=name)
+        self._regions: list[tuple[int, int]] = []   # (va, npages)
+        self.pages_touched = 0
+
+    def grow(self, npages: int) -> int:
+        """Allocate and touch ``npages``; returns pages actually touched
+        (stops early only on true OOM, which reclaim normally prevents)."""
+        va = self.task.mmap(npages, name="hog")
+        self._regions.append((va, npages))
+        touched = 0
+        for i in range(npages):
+            self.task.write(va + i * PAGE_SIZE, b"HOG-PAGE")
+            touched += 1
+        self.pages_touched += touched
+        return touched
+
+    def churn(self, rounds: int = 1) -> None:
+        """Re-touch everything, round-robin — sustained pressure that
+        keeps faulting pages back in and pushing others out."""
+        for _ in range(rounds):
+            for va, npages in self._regions:
+                for i in range(npages):
+                    self.task.write(va + i * PAGE_SIZE + 8, b"!")
+
+    def release(self) -> None:
+        """Free all hog memory."""
+        for va, npages in self._regions:
+            self.task.munmap(va, npages)
+        self._regions.clear()
+
+
+def apply_memory_pressure(kernel: "Kernel", factor: float = 2.0,
+                          name: str = "allocator") -> MemoryHog:
+    """Convenience: one hog that touches ``factor ×`` installed RAM,
+    guaranteeing reclaim ran.  Returns the hog (call ``release()`` to
+    lift the pressure)."""
+    hog = MemoryHog(kernel, name=name)
+    hog.grow(int(kernel.pagemap.num_frames * factor))
+    return hog

@@ -1,0 +1,55 @@
+"""Tests for the table/series printers."""
+
+import io
+
+from repro.bench.harness import fmt_bool, fmt_ns, print_series, print_table
+
+
+class TestFormatters:
+    def test_fmt_ns_units(self):
+        assert fmt_ns(500) == "500ns"
+        assert fmt_ns(2_500) == "2.50us"
+        assert fmt_ns(3_500_000) == "3.50ms"
+        assert fmt_ns(1_200_000_000) == "1.20s"
+
+    def test_fmt_bool(self):
+        assert fmt_bool(True) == "yes"
+        assert fmt_bool(False) == "NO"
+
+
+class TestPrintTable:
+    def test_alignment_and_content(self):
+        out = io.StringIO()
+        text = print_table("T", ["name", "n"], [["a", 1], ["bbbb", 22]],
+                           out=out)
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert lines[1].startswith("name")
+        assert "bbbb" in lines[-1]
+        assert out.getvalue().strip() == text.strip()
+
+    def test_bool_and_float_cells(self):
+        text = print_table("T", ["x"], [[True], [False], [1.234]],
+                           out=io.StringIO())
+        assert "yes" in text and "NO" in text and "1.23" in text
+
+    def test_empty_rows(self):
+        text = print_table("T", ["a"], [], out=io.StringIO())
+        assert "== T ==" in text
+
+
+class TestPrintSeries:
+    def test_merges_on_x(self):
+        text = print_series(
+            "S", "size",
+            {"a": [(1, 10.0), (2, 20.0)], "b": [(2, 5.0), (4, 2.5)]},
+            out=io.StringIO())
+        lines = text.splitlines()
+        # x values 1, 2, 4 each appear once
+        assert sum(1 for ln in lines if ln.startswith("1 ")) == 1
+        assert "20.00" in text and "5.00" in text and "2.50" in text
+
+    def test_missing_points_blank(self):
+        text = print_series("S", "x", {"a": [(1, 1.0)], "b": [(2, 2.0)]},
+                            out=io.StringIO())
+        assert "1.00" in text and "2.00" in text

@@ -1,0 +1,116 @@
+"""Tests for the registration cache."""
+
+import pytest
+
+from repro.core.regcache import RegistrationCache, aligned_range
+from repro.errors import ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.machine import Machine
+
+
+@pytest.fixture
+def setup():
+    m = Machine(num_frames=512, backend="kiobuf", tpt_entries=64)
+    t = m.spawn("mpi")
+    ua = m.user_agent(t)
+    del ua  # opening the NIC allocated the protection tag
+    cache = RegistrationCache(m.agent, t)
+    va = t.mmap(32)
+    return m, t, cache, va
+
+
+class TestAlignedRange:
+    def test_already_aligned(self):
+        assert aligned_range(0, PAGE_SIZE) == (0, PAGE_SIZE)
+
+    def test_subpage(self):
+        assert aligned_range(100, 50) == (0, PAGE_SIZE)
+
+    def test_straddle(self):
+        base, length = aligned_range(PAGE_SIZE - 10, 20)
+        assert base == 0 and length == 2 * PAGE_SIZE
+
+
+class TestHitMiss:
+    def test_first_acquire_misses(self, setup):
+        m, t, cache, va = setup
+        cache.acquire(va, PAGE_SIZE)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+    def test_repeat_acquire_hits(self, setup):
+        m, t, cache, va = setup
+        r1 = cache.acquire(va, PAGE_SIZE)
+        cache.release(va, PAGE_SIZE)
+        r2 = cache.acquire(va, PAGE_SIZE)
+        assert r1 is r2
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_subrange_hits_covering_entry(self, setup):
+        m, t, cache, va = setup
+        cache.acquire(va, 4 * PAGE_SIZE)
+        cache.acquire(va + PAGE_SIZE, PAGE_SIZE)
+        assert cache.stats.hits == 1
+
+    def test_rdma_attrs_respected(self, setup):
+        """A cached entry without RDMA-write enable cannot satisfy an
+        RDMA-write request (the NIC would protection-fault)."""
+        m, t, cache, va = setup
+        cache.acquire(va, PAGE_SIZE)                    # plain
+        cache.acquire(va, PAGE_SIZE, rdma_write=True)   # needs new entry
+        assert cache.stats.misses == 2
+
+    def test_released_entry_stays_registered(self, setup):
+        """The whole point: release keeps the (pinned) registration."""
+        m, t, cache, va = setup
+        reg = cache.acquire(va, PAGE_SIZE)
+        cache.release(va, PAGE_SIZE)
+        assert reg.handle in m.agent.registrations
+        frame = t.physical_pages(va, 1)[0]
+        assert m.kernel.pagemap.page(frame).pin_count == 1
+
+    def test_release_unacquired_raises(self, setup):
+        m, t, cache, va = setup
+        with pytest.raises(ViaError):
+            cache.release(va, PAGE_SIZE)
+
+
+class TestEviction:
+    def test_tpt_pressure_evicts_lru(self, setup):
+        """TPT has 64 entries; acquiring 5 × 16 pages must evict."""
+        m, t, cache, va = setup
+        big = t.mmap(128)
+        for i in range(5):
+            cache.acquire(big + i * 16 * PAGE_SIZE, 16 * PAGE_SIZE)
+            cache.release(big + i * 16 * PAGE_SIZE, 16 * PAGE_SIZE)
+        assert cache.stats.evictions >= 1
+        assert m.nic.tpt.entries_used <= 64
+
+    def test_in_use_entries_not_evicted(self, setup):
+        m, t, cache, va = setup
+        big = t.mmap(128)
+        # Hold all acquisitions: nothing is evictable → capacity failure.
+        cache.acquire(big, 16 * PAGE_SIZE)
+        cache.acquire(big + 16 * PAGE_SIZE, 16 * PAGE_SIZE)
+        cache.acquire(big + 32 * PAGE_SIZE, 16 * PAGE_SIZE)
+        cache.acquire(big + 48 * PAGE_SIZE, 16 * PAGE_SIZE)
+        with pytest.raises(ViaError):
+            cache.acquire(big + 64 * PAGE_SIZE, 16 * PAGE_SIZE)
+        assert cache.stats.capacity_failures == 1
+
+    def test_max_pages_budget(self, setup):
+        m, t, cache, va = setup
+        cache.max_pages = 8
+        cache.acquire(va, 4 * PAGE_SIZE)
+        cache.release(va, 4 * PAGE_SIZE)
+        cache.acquire(va + 8 * PAGE_SIZE, 8 * PAGE_SIZE)
+        assert cache.cached_pages <= 8 + 8  # old entry evicted before new
+        assert cache.stats.evictions == 1
+
+    def test_flush(self, setup):
+        m, t, cache, va = setup
+        cache.acquire(va, PAGE_SIZE)
+        cache.release(va, PAGE_SIZE)
+        cache.acquire(va + PAGE_SIZE, PAGE_SIZE)   # still in use
+        assert cache.flush() == 1
+        assert cache.cached_regions == 1

@@ -1,0 +1,121 @@
+"""Tests for MemoryRegistrar and RegionLease."""
+
+import pytest
+
+from repro.core.registration import MemoryRegistrar
+from repro.errors import InvalidArgument
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel import paging
+from repro.via.machine import Machine
+
+
+@pytest.fixture
+def setup():
+    m = Machine(num_frames=256, backend="kiobuf")
+    reg = MemoryRegistrar(m)
+    t = m.spawn("app")
+    va = t.mmap(8)
+    return m, reg, t, va
+
+
+class TestConstruction:
+    def test_rejects_unreliable_backend_by_default(self):
+        m = Machine(backend="refcount")
+        with pytest.raises(InvalidArgument):
+            MemoryRegistrar(m)
+
+    def test_allow_unreliable_opt_in(self):
+        m = Machine(backend="refcount")
+        r = MemoryRegistrar(m, allow_unreliable=True)
+        assert r.machine is m
+
+    def test_accepts_reliable_backends(self):
+        for name in ("kiobuf", "mlock", "pageflags", "mlock_naive"):
+            MemoryRegistrar(Machine(backend=name))
+
+
+class TestLeases:
+    def test_lease_lifecycle(self, setup):
+        m, reg, t, va = setup
+        lease = reg.register(t, va, 4 * PAGE_SIZE)
+        assert reg.live_count == 1
+        assert len(lease.frames) == 4
+        assert lease.nbytes == 4 * PAGE_SIZE
+        lease.release()
+        assert reg.live_count == 0
+
+    def test_release_idempotent(self, setup):
+        m, reg, t, va = setup
+        lease = reg.register(t, va, PAGE_SIZE)
+        lease.release()
+        lease.release()   # no error
+        assert reg.deregistrations_total == 1
+
+    def test_context_manager(self, setup):
+        m, reg, t, va = setup
+        with reg.register(t, va, PAGE_SIZE) as lease:
+            assert reg.pin_count(t, va) == 1
+            assert lease.handle in m.agent.registrations
+        assert reg.pin_count(t, va) == 0
+
+    def test_release_all(self, setup):
+        m, reg, t, va = setup
+        for i in range(3):
+            reg.register(t, va + i * PAGE_SIZE, PAGE_SIZE)
+        assert reg.release_all() == 3
+        assert reg.live_count == 0
+
+
+class TestMultipleRegistration:
+    def test_pin_accounting_observable(self, setup):
+        m, reg, t, va = setup
+        l1 = reg.register(t, va, 2 * PAGE_SIZE)
+        l2 = reg.register(t, va, 2 * PAGE_SIZE)
+        l3 = reg.register(t, va + PAGE_SIZE, PAGE_SIZE)
+        assert reg.pin_count(t, va) == 2
+        assert reg.pin_count(t, va + PAGE_SIZE) == 3
+        assert reg.registration_count(t, va, PAGE_SIZE) == 2
+        l1.release()
+        assert reg.pin_count(t, va) == 1
+        l2.release()
+        l3.release()
+        assert reg.pin_count(t, va + PAGE_SIZE) == 0
+
+    def test_survives_pressure_until_last_release(self, setup):
+        m, reg, t, va = setup
+        l1 = reg.register(t, va, 4 * PAGE_SIZE)
+        frames = l1.frames
+        l2 = reg.register(t, va, 4 * PAGE_SIZE)
+        l1.release()
+        paging.swap_out(m.kernel, m.kernel.pagemap.num_frames)
+        assert t.physical_pages(va, 4) == frames
+        assert reg.audit() == []
+        l2.release()
+
+
+class TestAuditAndStats:
+    def test_audit_empty_when_healthy(self, setup):
+        m, reg, t, va = setup
+        reg.register(t, va, 8 * PAGE_SIZE)
+        paging.swap_out(m.kernel, m.kernel.pagemap.num_frames)
+        assert reg.audit() == []
+
+    def test_audit_catches_unreliable_backend(self):
+        m = Machine(num_frames=256, backend="refcount")
+        reg = MemoryRegistrar(m, allow_unreliable=True)
+        t = m.spawn()
+        va = t.mmap(4)
+        reg.register(t, va, 4 * PAGE_SIZE)
+        paging.swap_out(m.kernel, m.kernel.pagemap.num_frames)
+        t.touch_pages(va, 4)
+        assert len(reg.audit()) == 4
+
+    def test_stats_shape(self, setup):
+        m, reg, t, va = setup
+        lease = reg.register(t, va, 2 * PAGE_SIZE)
+        s = reg.stats()
+        assert s["live"] == 1
+        assert s["registrations_total"] == 1
+        assert s["tpt_entries_used"] == 2
+        lease.release()
+        assert reg.stats()["deregistrations_total"] == 1

@@ -1,0 +1,82 @@
+"""Tests for simulated physical memory."""
+
+import pytest
+
+from repro.errors import BadPhysicalAddress
+from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+    def test_initially_zeroed(self):
+        pm = PhysicalMemory(4)
+        assert pm.read_frame(0) == bytes(PAGE_SIZE)
+
+    def test_write_and_read_frame(self):
+        pm = PhysicalMemory(4)
+        pm.write_frame(2, b"hello")
+        data = pm.read_frame(2)
+        assert data[:5] == b"hello"
+        assert data[5:] == bytes(PAGE_SIZE - 5)
+
+    def test_write_frame_clears_tail(self):
+        pm = PhysicalMemory(2)
+        pm.write_frame(0, b"\xff" * PAGE_SIZE)
+        pm.write_frame(0, b"ab")
+        assert pm.read_frame(0) == b"ab" + bytes(PAGE_SIZE - 2)
+
+    def test_write_frame_too_big(self):
+        pm = PhysicalMemory(1)
+        with pytest.raises(BadPhysicalAddress):
+            pm.write_frame(0, b"x" * (PAGE_SIZE + 1))
+
+    def test_zero_frame(self):
+        pm = PhysicalMemory(1)
+        pm.write_frame(0, b"junk")
+        pm.zero_frame(0)
+        assert pm.read_frame(0) == bytes(PAGE_SIZE)
+
+    def test_copy_frame(self):
+        pm = PhysicalMemory(3)
+        pm.write_frame(0, b"payload")
+        pm.copy_frame(0, 2)
+        assert pm.read_frame(2) == pm.read_frame(0)
+
+    def test_subframe_read_write(self):
+        pm = PhysicalMemory(2)
+        pm.write(1, 100, b"xyz")
+        assert pm.read(1, 100, 3) == b"xyz"
+        assert pm.read(1, 99, 1) == b"\x00"
+
+    def test_span_cannot_cross_frame(self):
+        pm = PhysicalMemory(2)
+        with pytest.raises(BadPhysicalAddress):
+            pm.read(0, PAGE_SIZE - 2, 4)
+        with pytest.raises(BadPhysicalAddress):
+            pm.write(0, PAGE_SIZE - 1, b"ab")
+
+    def test_bad_frame_rejected(self):
+        pm = PhysicalMemory(2)
+        with pytest.raises(BadPhysicalAddress):
+            pm.read_frame(2)
+        with pytest.raises(BadPhysicalAddress):
+            pm.read_frame(-1)
+
+    def test_negative_length_rejected(self):
+        pm = PhysicalMemory(1)
+        with pytest.raises(BadPhysicalAddress):
+            pm.read(0, 0, -1)
+
+    def test_flat_address_helpers(self):
+        assert PhysicalMemory.split_phys(PAGE_SIZE * 3 + 17) == (3, 17)
+        assert PhysicalMemory.join_phys(3, 17) == PAGE_SIZE * 3 + 17
+        assert PhysicalMemory.join_phys(5) == PAGE_SIZE * 5
+
+    def test_size_bytes(self):
+        assert PhysicalMemory(8).size_bytes == 8 * PAGE_SIZE
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)

@@ -1,0 +1,139 @@
+"""Tests for the page-fault handler (demand paging, swap-in, COW)."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel.fault import handle_fault
+
+
+class TestDemandPaging:
+    def test_mmap_allocates_nothing(self, kernel):
+        t = kernel.create_task()
+        free_before = kernel.free_pages
+        t.mmap(16)
+        assert kernel.free_pages == free_before
+
+    def test_touch_allocates_distinct_frames(self, kernel):
+        """Step 1 of the paper's experiment: touching every page maps
+        each virtual page to a distinct physical page."""
+        t = kernel.create_task()
+        va = t.mmap(8)
+        t.touch_pages(va, 8)
+        frames = t.physical_pages(va, 8)
+        assert None not in frames
+        assert len(set(frames)) == 8
+        assert t.minor_faults == 8
+
+    def test_demand_zero_page_is_zero(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        assert t.read(va, PAGE_SIZE) == bytes(PAGE_SIZE)
+
+    def test_fault_outside_vma_segfaults(self, kernel):
+        t = kernel.create_task()
+        with pytest.raises(SegmentationFault):
+            handle_fault(kernel, t, 0xDEAD, write=False)
+
+    def test_write_to_readonly_vma_segfaults(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1, writable=False)
+        with pytest.raises(SegmentationFault):
+            t.write(va, b"x")
+        # reads are fine
+        assert t.read(va, 4) == bytes(4)
+
+    def test_spurious_fault_on_present_page(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        t.write(va, b"a")
+        frame = t.physical_pages(va, 1)[0]
+        assert handle_fault(kernel, t, t.vpn_of(va), write=True) == frame
+
+
+class TestSwapInPath:
+    def _swap_out_one(self, kernel, task, va):
+        """Force the single page at va out to swap."""
+        from repro.kernel import paging
+        vpn = task.vpn_of(va)
+        # Keep stealing until this vpn is gone (other pages may go first).
+        for _ in range(1000):
+            pte = task.page_table.lookup(vpn)
+            if pte is not None and not pte.present:
+                return
+            if paging.swap_out(kernel, 1) == 0:
+                break
+        pte = task.page_table.lookup(vpn)
+        assert pte is not None and pte.swapped, "could not swap target page"
+
+    def test_swap_in_restores_contents_into_new_frame(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(4)
+        t.write(va, b"persist me")
+        old_frame = t.physical_pages(va, 1)[0]
+        self._swap_out_one(kernel, t, va)
+        assert kernel.trace.count("swap_out") >= 1
+        # Touch it again: major fault reads it back.
+        data = t.read(va, 10)
+        assert data == b"persist me"
+        assert t.major_faults >= 1
+        new_frame = t.physical_pages(va, 1)[0]
+        assert new_frame is not None
+        # The frame was freed in between, so it may or may not be reused;
+        # what matters is the data integrity verified above.
+        assert isinstance(old_frame, int)
+
+    def test_swap_in_frees_swap_slot(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        t.write(va, b"z")
+        self._swap_out_one(kernel, t, va)
+        used = kernel.swap.slots_in_use
+        t.read(va, 1)
+        assert kernel.swap.slots_in_use == used - 1
+
+
+class TestCOW:
+    def _share_cow(self, kernel, src, dst, src_va, dst_va):
+        """Manually establish a COW share of one frame between tasks
+        (the simulator has no fork; tests build shares directly)."""
+        pte = src.page_table.lookup(src.vpn_of(src_va))
+        pd = kernel.pagemap.get_page(pte.frame)
+        pd.cow_shares = 2
+        pte.writable = False
+        pte.cow = True
+        dpte = dst.page_table.set_mapping(dst.vpn_of(dst_va), pte.frame,
+                                          writable=False)
+        dpte.cow = True
+
+    def test_cow_break_copies(self, kernel):
+        a = kernel.create_task()
+        b = kernel.create_task()
+        va_a = a.mmap(1)
+        va_b = b.mmap(1)
+        a.write(va_a, b"shared")
+        b.touch_pages(va_b, 1)
+        # Rewire b's page to share a's frame copy-on-write.
+        old_b_frame = b.physical_pages(va_b, 1)[0]
+        kernel.pagemap.put_page(old_b_frame)
+        b.page_table.clear(b.vpn_of(va_b))
+        self._share_cow(kernel, a, b, va_a, va_b)
+        assert b.read(va_b, 6) == b"shared"
+        # Write from b breaks the share.
+        b.write(va_b, b"mine!!")
+        assert b.read(va_b, 6) == b"mine!!"
+        assert a.read(va_a, 6) == b"shared"
+        assert a.physical_pages(va_a, 1) != b.physical_pages(va_b, 1)
+
+    def test_cow_last_sharer_reuses_frame(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        t.write(va, b"x")
+        pte = t.page_table.lookup(t.vpn_of(va))
+        pte.writable = False
+        pte.cow = True
+        kernel.pagemap.page(pte.frame).cow_shares = 1
+        frame_before = pte.frame
+        t.write(va, b"y")
+        assert t.physical_pages(va, 1)[0] == frame_before
+        assert kernel.trace.count("cow_reuse") == 1

@@ -1,0 +1,120 @@
+"""Tests for the kiobuf subsystem (map_user_kiobuf / unmap_kiobuf)."""
+
+import pytest
+
+from repro.errors import KiobufError, SegmentationFault
+from repro.hw.physmem import PAGE_SIZE
+
+
+class TestMapUserKiobuf:
+    def test_map_faults_pages_in(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(4)
+        assert t.resident_pages() == 0
+        kio = kernel.map_user_kiobuf(t, va, 4 * PAGE_SIZE)
+        assert t.resident_pages() == 4
+        assert kio.npages == 4
+        assert kio.frames == t.physical_pages(va, 4)
+
+    def test_map_takes_ref_and_pin(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(2)
+        t.touch_pages(va, 2)
+        kio = kernel.map_user_kiobuf(t, va, 2 * PAGE_SIZE)
+        for frame in kio.frames:
+            pd = kernel.pagemap.page(frame)
+            assert pd.count == 2       # mapping + kiobuf
+            assert pd.pin_count == 1
+
+    def test_unmap_releases_everything(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(2)
+        kio = kernel.map_user_kiobuf(t, va, 2 * PAGE_SIZE)
+        kernel.unmap_kiobuf(kio)
+        for frame in kio.frames:
+            pd = kernel.pagemap.page(frame)
+            assert pd.count == 1 and pd.pin_count == 0
+        assert not kio.mapped
+        assert kio.kiobuf_id not in kernel.kiobufs
+
+    def test_double_unmap_rejected(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        kio = kernel.map_user_kiobuf(t, va, PAGE_SIZE)
+        kernel.unmap_kiobuf(kio)
+        with pytest.raises(KiobufError):
+            kernel.unmap_kiobuf(kio)
+
+    def test_two_kiobufs_nest(self, kernel):
+        """The property mlock lacks: independent mappings stack."""
+        t = kernel.create_task()
+        va = t.mmap(2)
+        k1 = kernel.map_user_kiobuf(t, va, 2 * PAGE_SIZE)
+        k2 = kernel.map_user_kiobuf(t, va, 2 * PAGE_SIZE)
+        pd = kernel.pagemap.page(k1.frames[0])
+        assert pd.pin_count == 2
+        kernel.unmap_kiobuf(k1)
+        assert pd.pin_count == 1       # still pinned by k2
+        kernel.unmap_kiobuf(k2)
+        assert pd.pin_count == 0
+
+    def test_partial_page_range(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(3)
+        # 100 bytes starting mid-page: still pins the whole page.
+        kio = kernel.map_user_kiobuf(t, va + 50, 100)
+        assert kio.npages == 1
+        # spanning a boundary pins both pages
+        kio2 = kernel.map_user_kiobuf(t, va + PAGE_SIZE - 10, 20)
+        assert kio2.npages == 2
+
+    def test_physical_segments(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(2)
+        kio = kernel.map_user_kiobuf(t, va + 100, PAGE_SIZE)
+        segs = kio.physical_segments()
+        assert len(segs) == 2
+        assert segs[0][1] == PAGE_SIZE - 100
+        assert segs[1][1] == 100
+        assert segs[0][0] % PAGE_SIZE == 100
+        assert segs[1][0] % PAGE_SIZE == 0
+        assert sum(n for _, n in segs) == PAGE_SIZE
+
+    def test_unmapped_range_rejected_and_unwound(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(2)
+        with pytest.raises(SegmentationFault):
+            kernel.map_user_kiobuf(t, va, 4 * PAGE_SIZE)  # runs off the VMA
+        # The two good pages were unwound: no stray pins/refs.
+        for frame in t.physical_pages(va, 2):
+            if frame is not None:
+                pd = kernel.pagemap.page(frame)
+                assert pd.pin_count == 0 and pd.count == 1
+
+    def test_readonly_vma_rejected_for_write_map(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1, writable=False)
+        with pytest.raises(SegmentationFault):
+            kernel.map_user_kiobuf(t, va, PAGE_SIZE, write=True)
+        # read-only mapping is fine
+        kio = kernel.map_user_kiobuf(t, va, PAGE_SIZE, write=False)
+        assert kio.npages == 1
+
+    def test_zero_bytes_rejected(self, kernel):
+        t = kernel.create_task()
+        va = t.mmap(1)
+        with pytest.raises(KiobufError):
+            kernel.map_user_kiobuf(t, va, 0)
+
+    def test_map_swapped_page_faults_it_back(self, kernel):
+        from repro.kernel import paging
+        t = kernel.create_task()
+        va = t.mmap(1)
+        t.write(va, b"data")
+        paging.swap_out(kernel, 1)
+        assert t.resident_pages() == 0
+        kio = kernel.map_user_kiobuf(t, va, PAGE_SIZE)
+        assert t.resident_pages() == 1
+        assert t.read(va, 4) == b"data"
+        assert t.major_faults == 1
+        kernel.unmap_kiobuf(kio)

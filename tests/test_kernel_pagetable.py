@@ -1,0 +1,73 @@
+"""Tests for page tables and PTEs."""
+
+from repro.kernel.pagetable import PTE, PageTable
+
+
+class TestPTE:
+    def test_default_not_present(self):
+        pte = PTE()
+        assert not pte.present
+        assert not pte.swapped
+
+    def test_swapped_state(self):
+        pte = PTE(present=False, swap_slot=5)
+        assert pte.swapped
+        pte2 = PTE(present=True, frame=3, swap_slot=5)
+        assert not pte2.swapped  # present wins
+
+
+class TestPageTable:
+    def test_lookup_missing(self):
+        assert PageTable().lookup(7) is None
+
+    def test_set_mapping(self):
+        pt = PageTable()
+        pte = pt.set_mapping(10, frame=3, writable=True)
+        assert pte.present and pte.frame == 3 and pte.writable
+        assert pte.accessed
+        assert pt.lookup(10) is pte
+
+    def test_set_swapped_clears_frame(self):
+        pt = PageTable()
+        pt.set_mapping(10, frame=3, writable=True)
+        pte = pt.set_swapped(10, slot=42)
+        assert not pte.present
+        assert pte.frame == -1
+        assert pte.swap_slot == 42
+        assert pte.swapped
+
+    def test_remapping_clears_swap_slot(self):
+        pt = PageTable()
+        pt.set_swapped(10, slot=42)
+        pte = pt.set_mapping(10, frame=5, writable=False)
+        assert pte.present and pte.swap_slot == -1
+
+    def test_clear(self):
+        pt = PageTable()
+        pt.set_mapping(10, frame=3, writable=True)
+        pt.clear(10)
+        assert pt.lookup(10) is None
+        pt.clear(10)  # idempotent
+
+    def test_present_entries_sorted(self):
+        pt = PageTable()
+        pt.set_mapping(30, 1, True)
+        pt.set_mapping(10, 2, True)
+        pt.set_swapped(20, 0)
+        vpns = [vpn for vpn, _ in pt.present_entries()]
+        assert vpns == [10, 30]
+
+    def test_entries_in_range(self):
+        pt = PageTable()
+        for vpn in (5, 10, 15, 20):
+            pt.set_mapping(vpn, vpn, True)
+        got = [vpn for vpn, _ in pt.entries_in(10, 20)]
+        assert got == [10, 15]
+
+    def test_resident_count(self):
+        pt = PageTable()
+        pt.set_mapping(1, 1, True)
+        pt.set_mapping(2, 2, True)
+        pt.set_swapped(3, 0)
+        assert pt.resident_count() == 2
+        assert len(pt) == 3

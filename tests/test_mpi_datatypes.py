@@ -1,0 +1,183 @@
+"""Tests for MPI datatypes and typed/persistent communication."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgument, ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.mpi import Contiguous, Indexed, MpiWorld, Vector
+from repro.mpi.datatypes import pack, unpack
+
+
+@pytest.fixture(scope="module")
+def world():
+    return MpiWorld(2, num_frames=2048, eager_threshold=16 * 1024)
+
+
+@pytest.fixture
+def bufs(world):
+    out = []
+    for r in world.ranks:
+        va = r.task.mmap(32)
+        r.task.touch_pages(va, 32)
+        out.append(va)
+    return out
+
+
+class TestDatatypeShapes:
+    def test_contiguous(self):
+        d = Contiguous(100)
+        assert d.size == 100 and d.extent == 100
+        assert list(d.blocks()) == [(0, 100)]
+
+    def test_vector(self):
+        d = Vector(count=3, blocklen=8, stride=32)
+        assert d.size == 24
+        assert d.extent == 2 * 32 + 8
+        assert list(d.blocks()) == [(0, 8), (32, 8), (64, 8)]
+
+    def test_indexed(self):
+        d = Indexed(((10, 4), (0, 2), (50, 6)))
+        assert d.size == 12
+        assert d.extent == 56
+        assert list(d.blocks()) == [(10, 4), (0, 2), (50, 6)]
+
+    def test_empty_shapes(self):
+        assert Contiguous(0).size == 0
+        assert list(Contiguous(0).blocks()) == []
+        assert Vector(0, 8, 16).extent == 0
+        assert Indexed(()).extent == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgument):
+            Contiguous(-1)
+        with pytest.raises(InvalidArgument):
+            Vector(2, 16, 8)   # overlapping blocks
+        with pytest.raises(InvalidArgument):
+            Indexed(((-1, 4),))
+
+
+class TestPackUnpack:
+    def test_vector_roundtrip(self, world, bufs):
+        t = world.rank(0).task
+        matrix = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        t.write(bufs[0], matrix.tobytes())
+        # Column 3 of a row-major 8x8 byte matrix.
+        col = Vector(count=8, blocklen=1, stride=8)
+        data = pack(t, bufs[0] + 3, col)
+        assert data == matrix[:, 3].tobytes()
+        unpack(t, bufs[0] + 5, col, data)
+        got = np.frombuffer(t.read(bufs[0], 64),
+                            dtype=np.uint8).reshape(8, 8)
+        assert (got[:, 5] == matrix[:, 3]).all()
+
+    def test_unpack_size_checked(self, world, bufs):
+        t = world.rank(0).task
+        with pytest.raises(InvalidArgument):
+            unpack(t, bufs[0], Contiguous(8), b"short")
+
+
+class TestTypedTransfer:
+    def test_matrix_column_send(self, world, bufs):
+        r0, r1 = world.rank(0), world.rank(1)
+        matrix = np.arange(256, dtype=np.uint8).reshape(16, 16)
+        r0.task.write(bufs[0], matrix.tobytes())
+        col = Vector(count=16, blocklen=1, stride=16)
+        r1.task.write(bufs[1], bytes(256))
+        # Co-sim: the send is blocking but eager, so the message is
+        # buffered as unexpected and the recv completes it.
+        r0.send_typed(1, 5, bufs[0] + 7, col)
+        r1.recv_typed(0, 5, bufs[1] + 2, col)
+        got = np.frombuffer(r1.task.read(bufs[1], 256),
+                            dtype=np.uint8).reshape(16, 16)
+        assert (got[:, 2] == matrix[:, 7]).all()
+
+    def test_indexed_to_contiguous(self, world, bufs):
+        r0, r1 = world.rank(0), world.rank(1)
+        r0.task.write(bufs[0], b"AABBBBCCCCCCDD")
+        dt = Indexed(((0, 2), (6, 6)))
+        r0.send_typed(1, 6, bufs[0], dt)
+        r1.recv_typed(0, 6, bufs[1], Contiguous(8))
+        assert r1.task.read(bufs[1], 8) == b"AACCCCCC"
+
+    def test_oversize_typed_rejected(self, world, bufs):
+        r0 = world.rank(0)
+        huge = Contiguous(r0.TYPED_SCRATCH_PAGES * PAGE_SIZE + 1)
+        with pytest.raises(ViaError):
+            r0.send_typed(1, 7, bufs[0], huge)
+
+
+class TestPersistentRequests:
+    def test_send_recv_cycle_reuse(self, world, bufs):
+        r0, r1 = world.rank(0), world.rank(1)
+        nbytes = 2048
+        psend = r0.send_init(1, 90, bufs[0], nbytes)
+        precv = r1.recv_init(0, 90, bufs[1], nbytes)
+        for i in range(5):
+            r0.task.write(bufs[0], f"iteration-{i}".encode())
+            psend.start()
+            precv.start()
+            st = precv.wait()
+            psend.wait()
+            assert st.nbytes == nbytes
+            assert r1.task.read(bufs[1], 11) == f"iteration-{i}".encode()
+        assert psend.starts == 5 and precv.starts == 5
+        psend.free()
+        precv.free()
+
+    def test_rendezvous_persistent_preregisters(self, world, bufs):
+        """Large persistent requests hold a registration so every start
+        is a cache hit — zero registration misses in the loop."""
+        r0, r1 = world.rank(0), world.rank(1)
+        nbytes = 64 * 1024      # > eager threshold
+        payload = bytes(np.random.default_rng(0).integers(
+            0, 256, nbytes, dtype=np.uint8))
+        r0.task.write(bufs[0], payload)
+        psend = r0.send_init(1, 91, bufs[0], nbytes)
+        precv = r1.recv_init(0, 91, bufs[1], nbytes)
+        misses0 = (r0.endpoints[1].cache.stats.misses
+                   + r1.endpoints[0].cache.stats.misses)
+        for _ in range(4):
+            psend.start()
+            precv.start()
+            precv.wait()
+            psend.wait()
+        misses = (r0.endpoints[1].cache.stats.misses
+                  + r1.endpoints[0].cache.stats.misses - misses0)
+        assert misses == 0
+        assert r1.task.read(bufs[1], nbytes) == payload
+        psend.free()
+        precv.free()
+        # Pins released after free: pages become evictable.
+        frame = r1.task.physical_pages(bufs[1], 1)[0]
+        r1.endpoints[0].cache.flush()
+        assert r1.machine.kernel.pagemap.page(frame).pin_count == 0
+
+    def test_double_start_rejected(self, world, bufs):
+        r0, r1 = world.rank(0), world.rank(1)
+        precv = r1.recv_init(0, 92, bufs[1], 64)
+        precv.start()
+        with pytest.raises(ViaError):
+            precv.start()
+        r0.isend(1, 92, bufs[0], 8)
+        precv.wait()
+        precv.free()
+
+    def test_free_while_active_rejected(self, world, bufs):
+        r1 = world.rank(1)
+        precv = r1.recv_init(0, 93, bufs[1], 64)
+        precv.start()
+        with pytest.raises(ViaError):
+            precv.free()
+        # clean up: satisfy the recv
+        world.rank(0).isend(1, 93, bufs[0], 4)
+        precv.wait()
+        precv.free()
+        precv.free()   # idempotent
+
+    def test_wait_before_start_rejected(self, world, bufs):
+        r1 = world.rank(1)
+        precv = r1.recv_init(0, 94, bufs[1], 64)
+        with pytest.raises(ViaError):
+            precv.wait()
+        precv.free()

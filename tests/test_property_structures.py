@@ -1,0 +1,137 @@
+"""Property-based tests on core data structures: VMA lists, TPT
+translation, the registration cache, and page descriptors."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regcache import aligned_range
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel.flags import VM_LOCKED, VM_READ, VM_WRITE
+from repro.kernel.vma import VMArea, VMAList
+from repro.via.tpt import TranslationProtectionTable
+
+RW = VM_READ | VM_WRITE
+
+
+# ---------------------------------------------------------------------------
+# VMA list
+# ---------------------------------------------------------------------------
+
+@st.composite
+def disjoint_ranges(draw, max_ranges: int = 5, space: int = 64):
+    """A list of disjoint, sorted (start, end) vpn ranges."""
+    cuts = sorted(draw(st.sets(st.integers(0, space), min_size=2,
+                               max_size=2 * max_ranges)))
+    ranges = []
+    for a, b in zip(cuts[::2], cuts[1::2]):
+        if a < b:
+            ranges.append((a, b))
+    return ranges
+
+
+class TestVMAProperties:
+    @given(disjoint_ranges())
+    def test_find_agrees_with_membership(self, ranges):
+        vl = VMAList()
+        for a, b in ranges:
+            vl.insert(VMArea(a, b, RW))
+        for vpn in range(70):
+            hit = vl.find(vpn)
+            member = any(a <= vpn < b for a, b in ranges)
+            assert (hit is not None) == member
+
+    @given(disjoint_ranges(), st.integers(0, 64), st.integers(1, 16))
+    def test_split_then_merge_is_identity(self, ranges, start, length):
+        vl = VMAList()
+        for a, b in ranges:
+            vl.insert(VMArea(a, b, RW))
+        before = [(a.start_vpn, a.end_vpn) for a in vl]
+        total_before = vl.total_pages()
+        vl.split_range(start, start + length)
+        assert vl.total_pages() == total_before   # splits conserve pages
+        vl.merge_adjacent()
+        after = [(a.start_vpn, a.end_vpn) for a in vl]
+        assert after == before
+
+    @given(disjoint_ranges(), st.integers(0, 64), st.integers(1, 16))
+    def test_lock_unlock_roundtrip(self, ranges, start, length):
+        vl = VMAList()
+        for a, b in ranges:
+            vl.insert(VMArea(a, b, RW))
+        vl.split_range(start, start + length)
+        vl.set_flags_range(start, start + length, set_bits=VM_LOCKED)
+        vl.set_flags_range(start, start + length, clear_bits=VM_LOCKED)
+        assert vl.locked_pages() == 0
+
+    @given(disjoint_ranges())
+    def test_covers_iff_no_holes(self, ranges):
+        vl = VMAList()
+        for a, b in ranges:
+            vl.insert(VMArea(a, b, RW))
+        for a, b in ranges:
+            assert vl.covers(a, b)
+        # Any span strictly wider than one range (into a gap) fails.
+        for (a, b), nxt in zip(ranges, ranges[1:]):
+            if b < nxt[0]:
+                assert not vl.covers(a, b + 1)
+
+
+# ---------------------------------------------------------------------------
+# TPT translation
+# ---------------------------------------------------------------------------
+
+class TestTPTProperties:
+    @given(st.integers(0, 1000), st.integers(1, 16),
+           st.data())
+    @settings(max_examples=60)
+    def test_translation_covers_exact_bytes_in_order(self, base_vpn,
+                                                     npages, data):
+        tpt = TranslationProtectionTable()
+        frames = list(range(100, 100 + npages))
+        va_base = base_vpn * PAGE_SIZE
+        region = tpt.install(va_base=va_base, nbytes=npages * PAGE_SIZE,
+                             prot_tag=1, frames=frames)
+        offset = data.draw(st.integers(0, npages * PAGE_SIZE - 1))
+        length = data.draw(st.integers(1, npages * PAGE_SIZE - offset))
+        segs = tpt.translate(region.handle, va_base + offset, length, 1)
+        # Property 1: lengths sum exactly.
+        assert sum(n for _, n in segs) == length
+        # Property 2: each segment stays in one frame, frames in order.
+        expect = offset
+        for addr, n in segs:
+            frame, off = divmod(addr, PAGE_SIZE)
+            assert frame == frames[expect // PAGE_SIZE]
+            assert off == expect % PAGE_SIZE
+            assert off + n <= PAGE_SIZE
+            expect += n
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_entry_accounting_balances(self, n_a, n_b):
+        tpt = TranslationProtectionTable(64)
+        a = tpt.install(0, n_a * PAGE_SIZE, 1, list(range(n_a)))
+        b = tpt.install(10 * PAGE_SIZE * 1024, n_b * PAGE_SIZE, 1,
+                        list(range(n_b)))
+        assert tpt.entries_used == n_a + n_b
+        tpt.remove(a.handle)
+        assert tpt.entries_used == n_b
+        tpt.remove(b.handle)
+        assert tpt.entries_used == 0
+
+
+# ---------------------------------------------------------------------------
+# Alignment helper
+# ---------------------------------------------------------------------------
+
+class TestAlignmentProperties:
+    @given(st.integers(0, 2**40), st.integers(1, 2**24))
+    def test_aligned_range_covers_and_is_aligned(self, va, nbytes):
+        base, length = aligned_range(va, nbytes)
+        assert base % PAGE_SIZE == 0
+        assert length % PAGE_SIZE == 0
+        assert base <= va
+        assert va + nbytes <= base + length
+        # minimality: shrinking by one page uncovers the request
+        assert base + PAGE_SIZE > va or va + nbytes > base + length - \
+            PAGE_SIZE

@@ -1,0 +1,148 @@
+"""Property-based test of the VIA registration layer: random register/
+deregister/pressure/traffic sequences on the kiobuf backend must keep
+the TPT consistent with the page tables at every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine, initialize, invariant, precondition, rule,
+)
+
+from repro.core.audit import audit_kernel_invariants, audit_tpt_consistency
+from repro.errors import ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel import paging
+from repro.sim.costs import FREE
+from repro.via.constants import VIP_SUCCESS
+from repro.via.descriptor import DataSegment, Descriptor
+from repro.via.machine import Machine
+
+
+class ViaRegistrationOps(RuleBasedStateMachine):
+    """Random workload against one machine with the kiobuf backend."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.machine = Machine(num_frames=192, backend="kiobuf",
+                               tpt_entries=96, costs=FREE,
+                               min_free_pages=4)
+        self.task = None
+        self.ua = None
+        self.buffer_va = 0
+        self.regs = []           # live registrations
+
+    @initialize()
+    def setup(self) -> None:
+        self.task = self.machine.spawn("app")
+        self.ua = self.machine.user_agent(self.task)
+        self.buffer_va = self.task.mmap(24)
+
+    @rule(page=st.integers(0, 20), pages=st.integers(1, 4))
+    def register(self, page: int, pages: int) -> None:
+        pages = min(pages, 24 - page)
+        va = self.buffer_va + page * PAGE_SIZE
+        try:
+            reg = self.ua.register_mem(va, pages * PAGE_SIZE,
+                                       rdma_write=True)
+        except ViaError as exc:
+            assert exc.status == "VIP_ERROR_RESOURCE"
+            return
+        self.regs.append(reg)
+
+    @precondition(lambda self: self.regs)
+    @rule(idx=st.integers(0, 10**6))
+    def deregister(self, idx: int) -> None:
+        reg = self.regs.pop(idx % len(self.regs))
+        self.ua.deregister_mem(reg)
+
+    @rule(want=st.integers(1, 32))
+    def pressure(self, want: int) -> None:
+        paging.swap_out(self.machine.kernel, want)
+
+    @precondition(lambda self: self.regs)
+    @rule(idx=st.integers(0, 10**6), payload=st.binary(min_size=1,
+                                                       max_size=32))
+    def loopback_rdma(self, idx: int, payload: bytes) -> None:
+        """RDMA-write into a live registration over a loopback VI pair
+        and verify the data arrives through the process's own mapping."""
+        reg = self.regs[idx % len(self.regs)]
+        if len(payload) > reg.nbytes:
+            payload = payload[:reg.nbytes]
+        other = self.machine.spawn("peer")
+        ua2 = self.machine.user_agent(other)
+        sva = other.mmap(1)
+        try:
+            sreg = ua2.register_mem(sva, PAGE_SIZE)
+        except ViaError:
+            self.machine.kernel.exit_task(other)
+            return
+        v1 = ua2.create_vi()
+        v2 = self.ua.create_vi()
+        self.machine.connect_loopback(v1, v2)
+        other.write(sva, payload)
+        desc = Descriptor.rdma_write(
+            [DataSegment(sreg.handle, sva, len(payload))],
+            remote_handle=reg.handle, remote_va=reg.va)
+        # The receiving VI (v2) is owned by the region's owner, so the
+        # remote protection check passes and the data must land where
+        # the owner can read it.
+        ua2.post_send(v1, desc)
+        assert desc.status == VIP_SUCCESS
+        assert self.task.read(reg.va, len(payload)) == payload
+        ua2.deregister_mem(sreg)
+        self.machine.fabric.disconnect(self.machine.nic, v1.vi_id)
+        self.machine.kernel.exit_task(other)
+
+    @precondition(lambda self: self.regs)
+    @rule(idx=st.integers(0, 10**6), payload=st.binary(min_size=1,
+                                                       max_size=32))
+    def dma_probe(self, idx: int, payload: bytes) -> None:
+        """Raw DMA through the TPT's recorded frames must be visible
+        through the owner's page tables (the E1 criterion)."""
+        reg = self.regs[idx % len(self.regs)]
+        if len(payload) > reg.nbytes:
+            payload = payload[:reg.nbytes]
+        segs = self.machine.nic.tpt.translate(
+            reg.handle, reg.va, len(payload), self.ua.prot_tag)
+        self.machine.nic.dma.write_scatter(segs, payload)
+        assert self.task.read(reg.va, len(payload)) == payload
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def tpt_never_stale(self) -> None:
+        assert audit_tpt_consistency(self.machine.agent) == []
+
+    @invariant()
+    def kernel_sound(self) -> None:
+        audit_kernel_invariants(self.machine.kernel)
+
+    @invariant()
+    def tpt_entry_accounting(self) -> None:
+        expected = sum(r.region.npages for r in self.regs)
+        assert self.machine.nic.tpt.entries_used == expected
+
+
+TestViaRegistrationOps = ViaRegistrationOps.TestCase
+TestViaRegistrationOps.settings = settings(max_examples=25,
+                                           stateful_step_count=40,
+                                           deadline=None)
+
+
+def test_smoke_single_sequence():
+    """One deterministic long sequence (fast regression guard)."""
+    m = Machine(num_frames=192, backend="kiobuf", costs=FREE)
+    t = m.spawn()
+    ua = m.user_agent(t)
+    va = t.mmap(24)
+    regs = [ua.register_mem(va + i * PAGE_SIZE, 2 * PAGE_SIZE)
+            for i in range(0, 20, 2)]
+    paging.swap_out(m.kernel, 256)
+    assert audit_tpt_consistency(m.agent) == []
+    for reg in regs[::2]:
+        ua.deregister_mem(reg)
+    paging.swap_out(m.kernel, 256)
+    assert audit_tpt_consistency(m.agent) == []
+    VIP_SUCCESS  # noqa: B018 - referenced to keep the import honest

@@ -1,0 +1,102 @@
+"""Tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import FREE, CostModel
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_charge_advances(self):
+        c = SimClock()
+        c.charge(100, "a")
+        c.charge(50, "b")
+        assert c.now_ns == 150
+
+    def test_now_us(self):
+        c = SimClock()
+        c.charge(2500)
+        assert c.now_us == pytest.approx(2.5)
+
+    def test_category_totals(self):
+        c = SimClock()
+        c.charge(100, "dma")
+        c.charge(40, "dma")
+        c.charge(7, "syscall")
+        assert c.category_ns("dma") == 140
+        assert c.category_ns("syscall") == 7
+        assert c.category_ns("never") == 0
+        assert c.categories() == {"dma": 140, "syscall": 7}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1)
+
+    def test_zero_charge_records_nothing(self):
+        c = SimClock()
+        c.charge(0, "x")
+        assert c.now_ns == 0
+        assert c.categories() == {}
+
+    def test_frozen_discards_charges(self):
+        c = SimClock()
+        with c.frozen():
+            c.charge(1000, "setup")
+        assert c.now_ns == 0
+        c.charge(5, "real")
+        assert c.now_ns == 5
+
+    def test_frozen_nests(self):
+        c = SimClock()
+        with c.frozen():
+            with c.frozen():
+                c.charge(1)
+            c.charge(2)
+        c.charge(3)
+        assert c.now_ns == 3
+
+    def test_measure_span(self):
+        c = SimClock()
+        c.charge(10)
+        with c.measure() as span:
+            c.charge(25)
+        c.charge(99)
+        assert span.elapsed_ns == 25
+        assert span.elapsed_us == pytest.approx(0.025)
+
+    def test_reset(self):
+        c = SimClock()
+        c.charge(10, "x")
+        c.reset()
+        assert c.now_ns == 0
+        assert c.categories() == {}
+
+
+class TestCostModel:
+    def test_memcpy_scales_with_bytes(self):
+        m = CostModel()
+        assert m.memcpy_ns(0) == 0
+        assert m.memcpy_ns(1000) == int(m.memcpy_per_byte_ns * 1000)
+
+    def test_dma_scales_with_bytes(self):
+        m = CostModel()
+        assert m.dma_ns(10_000) == int(m.dma_per_byte_ns * 10_000)
+
+    def test_major_fault_dominated_by_disk(self):
+        m = CostModel()
+        assert m.major_fault_ns() > 100 * m.minor_fault_ns
+
+    def test_scaled_overrides(self):
+        m = CostModel().scaled(syscall_ns=0, dma_per_byte_ns=1.0)
+        assert m.syscall_ns == 0
+        assert m.dma_ns(5) == 5
+        # other fields untouched
+        assert m.tpt_update_ns == CostModel().tpt_update_ns
+
+    def test_free_model_charges_nothing(self):
+        assert FREE.memcpy_ns(10**6) == 0
+        assert FREE.major_fault_ns() == 0
+        assert FREE.syscall_ns == 0

@@ -1,0 +1,65 @@
+"""Tests for the trace ring buffer."""
+
+from repro.sim.clock import SimClock
+from repro.sim.trace import Trace
+
+
+def make() -> tuple[SimClock, Trace]:
+    clock = SimClock()
+    return clock, Trace(clock, maxlen=8)
+
+
+class TestTrace:
+    def test_emit_and_count(self):
+        clock, t = make()
+        t.emit("a", x=1)
+        t.emit("a", x=2)
+        t.emit("b")
+        assert t.count("a") == 2
+        assert t.count("b") == 1
+        assert t.count("c") == 0
+        assert len(t) == 3
+
+    def test_events_carry_timestamp_and_detail(self):
+        clock, t = make()
+        clock.charge(42)
+        t.emit("swap_out", frame=7)
+        ev = t.last("swap_out")
+        assert ev is not None
+        assert ev.ts_ns == 42
+        assert ev["frame"] == 7
+
+    def test_of_kind_and_where(self):
+        _, t = make()
+        t.emit("k", v=1)
+        t.emit("k", v=2)
+        t.emit("other")
+        assert [e["v"] for e in t.of_kind("k")] == [1, 2]
+        assert len(t.where(lambda e: e.detail.get("v") == 2)) == 1
+
+    def test_ring_eviction_keeps_counts(self):
+        _, t = make()
+        for i in range(20):
+            t.emit("x", i=i)
+        assert len(t) == 8            # ring evicted
+        assert t.count("x") == 20     # counter did not
+
+    def test_disabled_drops_events(self):
+        _, t = make()
+        t.enabled = False
+        t.emit("x")
+        assert t.count("x") == 0
+        t.enabled = True
+        t.emit("x")
+        assert t.count("x") == 1
+
+    def test_last_returns_none_when_absent(self):
+        _, t = make()
+        assert t.last("nope") is None
+
+    def test_clear(self):
+        _, t = make()
+        t.emit("x")
+        t.clear()
+        assert len(t) == 0
+        assert t.count("x") == 0

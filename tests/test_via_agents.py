@@ -1,0 +1,170 @@
+"""Tests for the Kernel Agent and User Agent."""
+
+import pytest
+
+from repro.errors import InvalidArgument, NotRegistered, ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(num_frames=256)
+
+
+@pytest.fixture
+def ua(machine):
+    task = machine.spawn("app")
+    return machine.user_agent(task)
+
+
+class TestProtectionTags:
+    def test_tag_stable_per_process(self, machine):
+        t = machine.spawn()
+        tag1 = machine.agent.open_nic(t)
+        tag2 = machine.agent.open_nic(t)
+        assert tag1 == tag2
+
+    def test_tags_distinct_across_processes(self, machine):
+        a = machine.spawn()
+        b = machine.spawn()
+        assert machine.agent.open_nic(a) != machine.agent.open_nic(b)
+
+    def test_unopened_process_rejected(self, machine):
+        t = machine.spawn()
+        va = t.mmap(1)
+        with pytest.raises(InvalidArgument):
+            machine.agent.register_memory(t, va, PAGE_SIZE)
+
+
+class TestRegistration:
+    def test_register_installs_tpt_region(self, machine, ua):
+        va = ua.task.mmap(4)
+        reg = ua.register_mem(va, 4 * PAGE_SIZE)
+        region = machine.nic.tpt.lookup(reg.handle)
+        assert region.npages == 4
+        assert region.prot_tag == ua.prot_tag
+        assert machine.agent.registrations[reg.handle] is reg
+
+    def test_deregister_cleans_up(self, machine, ua):
+        va = ua.task.mmap(2)
+        reg = ua.register_mem(va, 2 * PAGE_SIZE)
+        ua.deregister_mem(reg)
+        with pytest.raises(NotRegistered):
+            machine.nic.tpt.lookup(reg.handle)
+        assert reg.handle not in machine.agent.registrations
+        # pins released
+        for frame in ua.task.physical_pages(va, 2):
+            assert machine.kernel.pagemap.page(frame).pin_count == 0
+
+    def test_deregister_unknown_handle(self, machine):
+        with pytest.raises(NotRegistered):
+            machine.agent.deregister_memory(12345)
+
+    def test_double_deregister_rejected(self, machine, ua):
+        va = ua.task.mmap(1)
+        reg = ua.register_mem(va, PAGE_SIZE)
+        ua.deregister_mem(reg)
+        with pytest.raises(NotRegistered):
+            ua.deregister_mem(reg)
+
+    def test_zero_bytes_rejected(self, machine, ua):
+        va = ua.task.mmap(1)
+        with pytest.raises(InvalidArgument):
+            ua.register_mem(va, 0)
+
+    def test_tpt_exhaustion_unlocks_pins(self):
+        """A failed install must not leak the backend's pins."""
+        m = Machine(num_frames=256, tpt_entries=4)
+        t = m.spawn()
+        a = m.user_agent(t)
+        va = t.mmap(8)
+        a.register_mem(va, 3 * PAGE_SIZE)
+        with pytest.raises(ViaError):
+            a.register_mem(va + 3 * PAGE_SIZE, 3 * PAGE_SIZE)
+        # pins of the failed attempt were released
+        for frame in t.physical_pages(va + 3 * PAGE_SIZE, 3):
+            if frame is not None:
+                assert m.kernel.pagemap.page(frame).pin_count == 0
+
+    def test_registrations_of_pid(self, machine, ua):
+        va = ua.task.mmap(4)
+        r1 = ua.register_mem(va, PAGE_SIZE)
+        r2 = ua.register_mem(va + PAGE_SIZE, PAGE_SIZE)
+        other = machine.spawn()
+        ua2 = machine.user_agent(other)
+        ov = other.mmap(1)
+        ua2.register_mem(ov, PAGE_SIZE)
+        regs = machine.agent.registrations_of(ua.task.pid)
+        assert {r.handle for r in regs} == {r1.handle, r2.handle}
+
+    def test_multiple_registration_same_range(self, machine, ua):
+        """The VIA-spec requirement the paper centres on."""
+        va = ua.task.mmap(2)
+        r1 = ua.register_mem(va, 2 * PAGE_SIZE)
+        r2 = ua.register_mem(va, 2 * PAGE_SIZE)
+        assert r1.handle != r2.handle
+        frame = ua.task.physical_pages(va, 1)[0]
+        assert machine.kernel.pagemap.page(frame).pin_count == 2
+        ua.deregister_mem(r1)
+        assert machine.kernel.pagemap.page(frame).pin_count == 1
+        ua.deregister_mem(r2)
+        assert machine.kernel.pagemap.page(frame).pin_count == 0
+
+
+class TestUserAgentHelpers:
+    def test_segment_defaults_to_whole_region(self, ua):
+        va = ua.task.mmap(2)
+        reg = ua.register_mem(va, 2 * PAGE_SIZE)
+        seg = ua.segment(reg)
+        assert (seg.mem_handle, seg.va, seg.length) == (
+            reg.handle, va, 2 * PAGE_SIZE)
+
+    def test_segment_subrange(self, ua):
+        va = ua.task.mmap(2)
+        reg = ua.register_mem(va, 2 * PAGE_SIZE)
+        seg = ua.segment(reg, va + 100, 50)
+        assert (seg.va, seg.length) == (va + 100, 50)
+
+    def test_vipl_aliases_exist(self, ua):
+        assert ua.VipRegisterMem == ua.register_mem
+        assert ua.VipPostSend == ua.post_send
+
+    def test_wait_mode_costs_more_than_polling(self):
+        """The MPI/Pro-vs-ScaMPI completion-mode tradeoff: blocking wait
+        charges a kernel trap + reschedule on top of the poll."""
+        from repro.hw.physmem import PAGE_SIZE
+        from repro.via.descriptor import Descriptor
+        from repro.via.machine import connected_pair
+        cluster, ua_s, ua_r, vi_s, vi_r = connected_pair("kiobuf")
+        rva = ua_r.task.mmap(1)
+        rreg = ua_r.register_mem(rva, PAGE_SIZE)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        costs = cluster[0].kernel.costs
+
+        ua_r.post_recv(vi_r, Descriptor.recv([ua_r.segment(rreg)]))
+        ua_s.send_bytes(vi_s, sreg, b"a")
+        with cluster.clock.measure() as poll_span:
+            ua_r.recv_done(vi_r)
+
+        ua_r.post_recv(vi_r, Descriptor.recv([ua_r.segment(rreg)]))
+        ua_s.send_bytes(vi_s, sreg, b"b")
+        with cluster.clock.measure() as wait_span:
+            ua_r.recv_wait(vi_r)
+
+        extra = wait_span.elapsed_ns - poll_span.elapsed_ns
+        assert extra == costs.syscall_ns + costs.reschedule_ns
+
+    def test_send_wait_returns_completed_descriptor(self):
+        from repro.hw.physmem import PAGE_SIZE
+        from repro.via.descriptor import Descriptor
+        from repro.via.machine import connected_pair
+        cluster, ua_s, ua_r, vi_s, vi_r = connected_pair("kiobuf")
+        rva = ua_r.task.mmap(1)
+        rreg = ua_r.register_mem(rva, PAGE_SIZE)
+        ua_r.post_recv(vi_r, Descriptor.recv([ua_r.segment(rreg)]))
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        desc = ua_s.send_bytes(vi_s, sreg, b"x")
+        assert ua_s.send_wait(vi_s) is desc

@@ -1,0 +1,119 @@
+"""Tests for client/server connection management (VipConnectWait /
+VipConnectRequest)."""
+
+import pytest
+
+from repro.errors import ConnectionError_
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.constants import ReliabilityLevel, ViState
+from repro.via.descriptor import Descriptor
+from repro.via.machine import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2, num_frames=512)
+
+
+@pytest.fixture
+def agents(cluster):
+    server = cluster[1].spawn("server")
+    client = cluster[0].spawn("client")
+    return cluster[0].user_agent(client), cluster[1].user_agent(server)
+
+
+class TestClientServer:
+    def test_listen_then_connect(self, cluster, agents):
+        ua_c, ua_s = agents
+        vi_s = ua_s.create_vi()
+        vi_c = ua_c.create_vi()
+        ua_s.connect_wait(vi_s, b"service-1")
+        ua_c.connect_request(vi_c, cluster[1].nic.name, b"service-1")
+        assert vi_c.state == ViState.CONNECTED
+        assert vi_s.state == ViState.CONNECTED
+        assert vi_c.peer == (cluster[1].nic.name, vi_s.vi_id)
+        assert cluster.fabric.connmgr.pending == 0
+        assert cluster.fabric.connmgr.connects_completed == 1
+
+    def test_connection_carries_traffic(self, cluster, agents):
+        ua_c, ua_s = agents
+        vi_s = ua_s.create_vi()
+        vi_c = ua_c.create_vi()
+        ua_s.connect_wait(vi_s, b"mpi")
+        ua_c.connect_request(vi_c, cluster[1].nic.name, b"mpi")
+        rva = ua_s.task.mmap(1)
+        rreg = ua_s.register_mem(rva, PAGE_SIZE)
+        ua_s.post_recv(vi_s, Descriptor.recv([ua_s.segment(rreg)]))
+        sva = ua_c.task.mmap(1)
+        sreg = ua_c.register_mem(sva, PAGE_SIZE)
+        ua_c.send_bytes(vi_c, sreg, b"via connmgr")
+        got = ua_s.recv_done(vi_s)
+        assert ua_s.recv_bytes(vi_s, got) == b"via connmgr"
+
+    def test_no_listener_times_out(self, cluster, agents):
+        ua_c, _ = agents
+        vi_c = ua_c.create_vi()
+        with pytest.raises(ConnectionError_):
+            ua_c.connect_request(vi_c, cluster[1].nic.name, b"absent")
+
+    def test_discriminators_are_distinct(self, cluster, agents):
+        ua_c, ua_s = agents
+        a, b = ua_s.create_vi(), ua_s.create_vi()
+        ua_s.connect_wait(a, b"svc-a")
+        ua_s.connect_wait(b, b"svc-b")
+        vi_c = ua_c.create_vi()
+        ua_c.connect_request(vi_c, cluster[1].nic.name, b"svc-b")
+        assert b.state == ViState.CONNECTED
+        assert a.state == ViState.IDLE
+        assert cluster.fabric.connmgr.pending == 1
+
+    def test_duplicate_listener_rejected(self, cluster, agents):
+        _, ua_s = agents
+        a, b = ua_s.create_vi(), ua_s.create_vi()
+        ua_s.connect_wait(a, b"svc")
+        with pytest.raises(ConnectionError_):
+            ua_s.connect_wait(b, b"svc")
+
+    def test_connected_vi_cannot_listen(self, cluster, agents):
+        ua_c, ua_s = agents
+        vi_s = ua_s.create_vi()
+        vi_c = ua_c.create_vi()
+        ua_s.connect_wait(vi_s, b"x")
+        ua_c.connect_request(vi_c, cluster[1].nic.name, b"x")
+        with pytest.raises(ConnectionError_):
+            ua_s.connect_wait(vi_s, b"y")
+
+    def test_reliability_mismatch_keeps_listener(self, cluster, agents):
+        ua_c, ua_s = agents
+        vi_s = ua_s.create_vi(
+            reliability=ReliabilityLevel.RELIABLE_DELIVERY)
+        vi_c = ua_c.create_vi(reliability=ReliabilityLevel.UNRELIABLE)
+        ua_s.connect_wait(vi_s, b"svc")
+        with pytest.raises(ConnectionError_):
+            ua_c.connect_request(vi_c, cluster[1].nic.name, b"svc")
+        # The server keeps waiting for a compatible client.
+        assert cluster.fabric.connmgr.pending == 1
+        vi_c2 = ua_c.create_vi(
+            reliability=ReliabilityLevel.RELIABLE_DELIVERY)
+        ua_c.connect_request(vi_c2, cluster[1].nic.name, b"svc")
+        assert vi_s.state == ViState.CONNECTED
+
+    def test_unlisten(self, cluster, agents):
+        ua_c, ua_s = agents
+        vi_s = ua_s.create_vi()
+        ua_s.connect_wait(vi_s, b"svc")
+        cluster.fabric.connmgr.unlisten(cluster[1].nic, b"svc")
+        vi_c = ua_c.create_vi()
+        with pytest.raises(ConnectionError_):
+            ua_c.connect_request(vi_c, cluster[1].nic.name, b"svc")
+
+    def test_loopback_client_server(self, cluster):
+        """Client and server on the same machine/NIC."""
+        m = cluster[0]
+        s = m.spawn("srv")
+        c = m.spawn("cli")
+        ua_s, ua_c = m.user_agent(s), m.user_agent(c)
+        vi_s, vi_c = ua_s.create_vi(), ua_c.create_vi()
+        ua_s.connect_wait(vi_s, b"local")
+        ua_c.connect_request(vi_c, m.nic.name, b"local")
+        assert vi_s.state == ViState.CONNECTED

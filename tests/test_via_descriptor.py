@@ -1,0 +1,84 @@
+"""Tests for VIA descriptors."""
+
+import pytest
+
+from repro.errors import DescriptorError
+from repro.via.constants import DescriptorType
+from repro.via.descriptor import DataSegment, Descriptor
+
+
+def seg(handle=1, va=0, length=100) -> DataSegment:
+    return DataSegment(handle, va, length)
+
+
+class TestDescriptorConstruction:
+    def test_send(self):
+        d = Descriptor.send([seg()], immediate=b"abcd")
+        assert d.dtype == DescriptorType.SEND
+        assert d.immediate_data == b"abcd"
+        d.validate()
+
+    def test_recv(self):
+        d = Descriptor.recv([seg()])
+        assert d.dtype == DescriptorType.RECV
+        d.validate()
+
+    def test_rdma_write(self):
+        d = Descriptor.rdma_write([seg()], remote_handle=9, remote_va=0x1000)
+        d.validate()
+        assert d.remote_handle == 9
+
+    def test_rdma_read(self):
+        d = Descriptor.rdma_read([seg()], remote_handle=9, remote_va=0)
+        d.validate()
+
+    def test_total_length(self):
+        d = Descriptor.send([seg(length=10), seg(length=20)])
+        assert d.total_length == 30
+
+    def test_ids_unique(self):
+        assert Descriptor.send([]).desc_id != Descriptor.send([]).desc_id
+
+
+class TestDescriptorValidation:
+    def test_too_many_segments(self):
+        d = Descriptor.send([seg() for _ in range(9)])
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+    def test_negative_segment_length(self):
+        d = Descriptor.send([seg(length=-1)])
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+    def test_immediate_data_limit(self):
+        d = Descriptor.send([seg()], immediate=b"12345")
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+    def test_rdma_requires_remote_addressing(self):
+        d = Descriptor(DescriptorType.RDMA_WRITE, [seg()])
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+    def test_send_must_not_carry_remote_addressing(self):
+        d = Descriptor(DescriptorType.SEND, [seg()], remote_handle=1,
+                       remote_va=0)
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+    def test_rdma_read_cannot_carry_immediate(self):
+        d = Descriptor(DescriptorType.RDMA_READ, [seg()],
+                       immediate_data=b"x", remote_handle=1, remote_va=0)
+        with pytest.raises(DescriptorError):
+            d.validate()
+
+
+class TestCompletion:
+    def test_complete_sets_fields(self):
+        d = Descriptor.send([seg()])
+        assert not d.done
+        d.complete("VIP_SUCCESS", 42)
+        assert d.done
+        assert d.status == "VIP_SUCCESS"
+        assert d.length_transferred == 42

@@ -1,0 +1,319 @@
+"""End-to-end NIC tests: send/receive, RDMA, protection, reliability."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionError_, DescriptorError, QueueEmpty,
+)
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.constants import (
+    VIP_ERROR_CONN_LOST, VIP_PROTECTION_ERROR, VIP_SUCCESS,
+    ReliabilityLevel, ViState,
+)
+from repro.via.descriptor import DataSegment, Descriptor
+from repro.via.machine import connected_pair
+
+
+@pytest.fixture
+def pair():
+    return connected_pair("kiobuf")
+
+
+def post_recv_buffer(ua, vi, npages=2):
+    """Map + register + post a receive buffer; returns (va, registration,
+    descriptor)."""
+    va = ua.task.mmap(npages)
+    reg = ua.register_mem(va, npages * PAGE_SIZE)
+    desc = Descriptor.recv([ua.segment(reg)])
+    ua.post_recv(vi, desc)
+    return va, reg, desc
+
+
+class TestSendReceive:
+    def test_roundtrip(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        _, _, rdesc = post_recv_buffer(ua_r, vi_r)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        sdesc = ua_s.send_bytes(vi_s, sreg, b"payload-123")
+        assert sdesc.status == VIP_SUCCESS
+        got = ua_r.recv_done(vi_r)
+        assert got is rdesc
+        assert got.status == VIP_SUCCESS
+        assert got.length_transferred == 11
+        assert ua_r.recv_bytes(vi_r, got) == b"payload-123"
+
+    def test_multiple_messages_in_order(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        descs = [post_recv_buffer(ua_r, vi_r)[2] for _ in range(3)]
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        for i in range(3):
+            ua_s.send_bytes(vi_s, sreg, f"msg{i}".encode())
+        for i in range(3):
+            got = ua_r.recv_done(vi_r)
+            assert got is descs[i]
+            assert ua_r.recv_bytes(vi_r, got) == f"msg{i}".encode()
+
+    def test_immediate_data_travels(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        post_recv_buffer(ua_r, vi_r)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        desc = Descriptor.send([ua_s.segment(sreg, sva, 4)],
+                               immediate=b"TAG!")
+        ua_s.task.write(sva, b"body")
+        ua_s.post_send(vi_s, desc)
+        got = ua_r.recv_done(vi_r)
+        assert got.received_immediate == b"TAG!"
+
+    def test_send_counters(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        post_recv_buffer(ua_r, vi_r)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        ua_s.send_bytes(vi_s, sreg, b"x")
+        assert ua_s.nic.sends_completed == 1
+        assert ua_r.nic.recvs_completed == 1
+
+    def test_send_without_recv_breaks_reliable_connection(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        desc = ua_s.send_bytes(vi_s, sreg, b"nobody home")
+        assert desc.status == VIP_ERROR_CONN_LOST
+        assert vi_s.state == ViState.ERROR
+        assert vi_r.state == ViState.ERROR
+        assert ua_r.nic.recv_drops == 1
+
+    def test_send_without_recv_dropped_silently_unreliable(self):
+        cluster, ua_s, ua_r, vi_s, vi_r = connected_pair(
+            "kiobuf", reliability=ReliabilityLevel.UNRELIABLE)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        desc = ua_s.send_bytes(vi_s, sreg, b"gone")
+        assert desc.status == VIP_SUCCESS     # fire-and-forget
+        assert vi_s.state == ViState.CONNECTED
+        assert ua_r.nic.recv_drops == 1
+
+    def test_undersized_recv_buffer_is_descriptor_error(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        rva = ua_r.task.mmap(1)
+        rreg = ua_r.register_mem(rva, PAGE_SIZE)
+        rdesc = Descriptor.recv([DataSegment(rreg.handle, rva, 4)])
+        ua_r.post_recv(vi_r, rdesc)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        ua_s.send_bytes(vi_s, sreg, b"way too long")
+        got = ua_r.recv_done(vi_r)
+        assert got.status == "VIP_DESCRIPTOR_ERROR"
+        assert vi_r.state == ViState.ERROR
+
+
+class TestRDMA:
+    def _rdma_setup(self, pair, write_enable=True, read_enable=True):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        rva = ua_r.task.mmap(2)
+        ua_r.task.touch_pages(rva, 2)
+        rreg = ua_r.register_mem(rva, 2 * PAGE_SIZE,
+                                 rdma_write=write_enable,
+                                 rdma_read=read_enable)
+        lva = ua_s.task.mmap(2)
+        lreg = ua_s.register_mem(lva, 2 * PAGE_SIZE)
+        return cluster, ua_s, ua_r, vi_s, vi_r, rva, rreg, lva, lreg
+
+    def test_rdma_write(self, pair):
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair)
+        ua_s.task.write(lva, b"one-sided!")
+        desc = Descriptor.rdma_write(
+            [DataSegment(lreg.handle, lva, 10)],
+            remote_handle=rreg.handle, remote_va=rva + 100)
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_SUCCESS
+        assert ua_r.task.read(rva + 100, 10) == b"one-sided!"
+        assert ua_s.nic.rdma_writes_completed == 1
+
+    def test_rdma_write_with_immediate_consumes_recv(self, pair):
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair)
+        _, _, rdesc = post_recv_buffer(ua_r, vi_r)
+        desc = Descriptor.rdma_write(
+            [DataSegment(lreg.handle, lva, 4)],
+            remote_handle=rreg.handle, remote_va=rva, immediate=b"done")
+        ua_s.post_send(vi_s, desc)
+        got = ua_r.recv_done(vi_r)
+        assert got is rdesc
+        assert got.received_immediate == b"done"
+
+    def test_rdma_read(self, pair):
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair)
+        ua_r.task.write(rva + 10, b"remote data")
+        desc = Descriptor.rdma_read(
+            [DataSegment(lreg.handle, lva, 11)],
+            remote_handle=rreg.handle, remote_va=rva + 10)
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_SUCCESS
+        assert ua_s.task.read(lva, 11) == b"remote data"
+        assert ua_s.nic.rdma_reads_completed == 1
+
+    def test_rdma_write_without_enable_is_protection_error(self, pair):
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair, write_enable=False)
+        before = ua_r.task.read(rva, 4)
+        desc = Descriptor.rdma_write(
+            [DataSegment(lreg.handle, lva, 4)],
+            remote_handle=rreg.handle, remote_va=rva)
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_PROTECTION_ERROR
+        assert vi_s.state == ViState.ERROR
+        assert ua_r.task.read(rva, 4) == before   # no data transferred
+        assert ua_r.nic.protection_faults == 1
+
+    def test_rdma_read_without_enable_is_protection_error(self, pair):
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair, read_enable=False)
+        desc = Descriptor.rdma_read(
+            [DataSegment(lreg.handle, lva, 4)],
+            remote_handle=rreg.handle, remote_va=rva)
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_PROTECTION_ERROR
+
+    def test_rdma_to_foreign_region_is_protection_error(self, pair):
+        """A VI cannot touch a region registered by a *different* process
+        (different protection tag) — Fig. 3's 'neither A is able to
+        access wrong memory locations'."""
+        (cluster, ua_s, ua_r, vi_s, vi_r,
+         rva, rreg, lva, lreg) = self._rdma_setup(pair)
+        intruder = cluster[1].spawn("intruder")
+        ua_i = cluster[1].user_agent(intruder)
+        iva = intruder.mmap(1)
+        ireg = ua_i.register_mem(iva, PAGE_SIZE, rdma_write=True)
+        desc = Descriptor.rdma_write(
+            [DataSegment(lreg.handle, lva, 4)],
+            remote_handle=ireg.handle, remote_va=iva)
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_PROTECTION_ERROR
+
+
+class TestLocalProtection:
+    def test_send_from_foreign_registration_fails(self, pair):
+        """A process cannot send out of another process's registered
+        memory: the segment's handle carries the wrong tag."""
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        other = cluster[0].spawn("other")
+        ua_o = cluster[0].user_agent(other)
+        ova = other.mmap(1)
+        oreg = ua_o.register_mem(ova, PAGE_SIZE)
+        post_recv_buffer(ua_r, vi_r)
+        desc = Descriptor.send([DataSegment(oreg.handle, ova, 4)])
+        ua_s.post_send(vi_s, desc)
+        assert desc.status == VIP_PROTECTION_ERROR
+        assert vi_s.state == ViState.ERROR
+
+    def test_recv_into_foreign_registration_fails(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        other = cluster[1].spawn("other")
+        ua_o = cluster[1].user_agent(other)
+        ova = other.mmap(1)
+        oreg = ua_o.register_mem(ova, PAGE_SIZE)
+        bad = Descriptor.recv([DataSegment(oreg.handle, ova, PAGE_SIZE)])
+        ua_r.post_recv(vi_r, bad)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        ua_s.send_bytes(vi_s, sreg, b"x")
+        got = ua_r.recv_done(vi_r)
+        assert got.status == VIP_PROTECTION_ERROR
+
+
+class TestPostingRules:
+    def test_wrong_queue_rejected(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        with pytest.raises(DescriptorError):
+            ua_s.post_send(vi_s, Descriptor.recv([]))
+        with pytest.raises(DescriptorError):
+            ua_r.post_recv(vi_r, Descriptor.send([]))
+
+    def test_send_on_unconnected_vi_rejected(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        lone = ua_s.create_vi()
+        with pytest.raises(ConnectionError_):
+            ua_s.post_send(lone, Descriptor.send([]))
+
+    def test_recv_can_be_posted_while_idle(self, pair):
+        """Pre-posting receives before the connection exists is legal."""
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        lone = ua_r.create_vi()
+        va = ua_r.task.mmap(1)
+        reg = ua_r.register_mem(va, PAGE_SIZE)
+        ua_r.post_recv(lone, Descriptor.recv([ua_r.segment(reg)]))
+        assert len(lone.recv_queue) == 1
+
+    def test_done_polls_raise_when_empty(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        with pytest.raises(QueueEmpty):
+            ua_s.send_done(vi_s)
+        with pytest.raises(QueueEmpty):
+            ua_r.recv_done(vi_r)
+
+
+class TestConnectionManagement:
+    def test_connect_requires_idle(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        extra_s = ua_s.create_vi()
+        with pytest.raises(ConnectionError_):
+            cluster.fabric.connect(cluster[0].nic, vi_s.vi_id,
+                                   cluster[1].nic, vi_r.vi_id)
+        del extra_s
+
+    def test_reliability_must_match(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        a = ua_s.create_vi(reliability=ReliabilityLevel.UNRELIABLE)
+        b = ua_r.create_vi(reliability=ReliabilityLevel.RELIABLE_DELIVERY)
+        with pytest.raises(ConnectionError_):
+            cluster.fabric.connect(cluster[0].nic, a.vi_id,
+                                   cluster[1].nic, b.vi_id)
+
+    def test_disconnect_peer_goes_to_error(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        cluster.fabric.disconnect(cluster[0].nic, vi_s.vi_id)
+        assert vi_s.state == ViState.IDLE
+        assert vi_r.state == ViState.ERROR
+
+    def test_destroy_connected_vi_rejected(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        with pytest.raises(ConnectionError_):
+            cluster[0].nic.destroy_vi(vi_s.vi_id)
+
+    def test_loopback_connection(self):
+        from repro.via.machine import Machine
+        m = Machine()
+        t1 = m.spawn("a")
+        t2 = m.spawn("b")
+        ua1, ua2 = m.user_agent(t1), m.user_agent(t2)
+        v1, v2 = ua1.create_vi(), ua2.create_vi()
+        m.connect_loopback(v1, v2)
+        rva = t2.mmap(1)
+        rreg = ua2.register_mem(rva, PAGE_SIZE)
+        ua2.post_recv(v2, Descriptor.recv([ua2.segment(rreg)]))
+        sva = t1.mmap(1)
+        sreg = ua1.register_mem(sva, PAGE_SIZE)
+        d = ua1.send_bytes(v1, sreg, b"loopback")
+        assert d.status == VIP_SUCCESS
+        assert ua2.recv_bytes(v2, ua2.recv_done(v2)) == b"loopback"
+
+
+class TestPacketLoss:
+    def test_unreliable_vi_drops_packets(self):
+        cluster, ua_s, ua_r, vi_s, vi_r = connected_pair(
+            "kiobuf", reliability=ReliabilityLevel.UNRELIABLE)
+        cluster.fabric.loss_rate = 1.0    # drop everything
+        post_recv_buffer(ua_r, vi_r)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        desc = ua_s.send_bytes(vi_s, sreg, b"lost")
+        assert desc.status == VIP_SUCCESS   # sender cannot tell
+        assert cluster.fabric.packets_dropped == 1
+        with pytest.raises(QueueEmpty):
+            ua_r.recv_done(vi_r)

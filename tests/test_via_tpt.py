@@ -1,0 +1,115 @@
+"""Tests for the Translation and Protection Table."""
+
+import pytest
+
+from repro.errors import NotRegistered, ProtectionError, ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.via.tpt import TranslationProtectionTable
+
+TAG_A, TAG_B = 0x100, 0x200
+
+
+def install(tpt, va=0x10000, npages=4, tag=TAG_A, **kw):
+    frames = list(range(10, 10 + npages))
+    return tpt.install(va_base=va, nbytes=npages * PAGE_SIZE, prot_tag=tag,
+                       frames=frames, **kw)
+
+
+class TestInstallRemove:
+    def test_install_and_lookup(self):
+        tpt = TranslationProtectionTable(16)
+        region = install(tpt)
+        assert tpt.lookup(region.handle) is region
+        assert tpt.entries_used == 4
+        assert tpt.entries_free == 12
+
+    def test_capacity_enforced(self):
+        tpt = TranslationProtectionTable(4)
+        install(tpt, npages=3)
+        with pytest.raises(ViaError) as exc:
+            install(tpt, va=0x90000, npages=2)
+        assert exc.value.status == "VIP_ERROR_RESOURCE"
+
+    def test_remove_releases_entries(self):
+        tpt = TranslationProtectionTable(4)
+        region = install(tpt, npages=4)
+        tpt.remove(region.handle)
+        assert tpt.entries_used == 0
+        with pytest.raises(NotRegistered):
+            tpt.lookup(region.handle)
+
+    def test_remove_unknown(self):
+        with pytest.raises(NotRegistered):
+            TranslationProtectionTable().remove(999)
+
+    def test_empty_region_rejected(self):
+        tpt = TranslationProtectionTable()
+        with pytest.raises(ViaError):
+            tpt.install(va_base=0, nbytes=0, prot_tag=TAG_A, frames=[])
+
+    def test_handles_unique(self):
+        tpt = TranslationProtectionTable()
+        a = install(tpt)
+        b = install(tpt, va=0x90000)
+        assert a.handle != b.handle
+
+
+class TestTranslation:
+    def test_single_page(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt, va=0x10000, npages=4)
+        segs = tpt.translate(region.handle, 0x10000 + 100, 50, TAG_A)
+        assert segs == [(10 * PAGE_SIZE + 100, 50)]
+
+    def test_multi_page_spans(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt, va=0x10000, npages=4)
+        va = 0x10000 + PAGE_SIZE - 10
+        segs = tpt.translate(region.handle, va, 20, TAG_A)
+        assert segs == [(10 * PAGE_SIZE + PAGE_SIZE - 10, 10),
+                        (11 * PAGE_SIZE, 10)]
+
+    def test_translation_uses_recorded_frames(self):
+        """The staleness mechanism: translation uses registration-time
+        frames even after they are mutated out from under the TPT."""
+        tpt = TranslationProtectionTable()
+        region = install(tpt)
+        region.frames[0] = 99      # "kernel moved the page"
+        segs = tpt.translate(region.handle, 0x10000, 8, TAG_A)
+        assert segs[0][0] == 99 * PAGE_SIZE
+
+    def test_wrong_tag_rejected(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt, tag=TAG_A)
+        with pytest.raises(ProtectionError):
+            tpt.translate(region.handle, 0x10000, 4, TAG_B)
+
+    def test_out_of_bounds_rejected(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt, va=0x10000, npages=2)
+        with pytest.raises(NotRegistered):
+            tpt.translate(region.handle, 0x10000, 3 * PAGE_SIZE, TAG_A)
+        with pytest.raises(NotRegistered):
+            tpt.translate(region.handle, 0x10000 - 1, 4, TAG_A)
+
+    def test_rdma_enables(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt, rdma_write=True, rdma_read=False)
+        tpt.translate(region.handle, 0x10000, 4, TAG_A, rdma_write=True)
+        with pytest.raises(ProtectionError):
+            tpt.translate(region.handle, 0x10000, 4, TAG_A, rdma_read=True)
+
+    def test_rdma_disabled_by_default(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt)
+        with pytest.raises(ProtectionError):
+            tpt.translate(region.handle, 0x10000, 4, TAG_A, rdma_write=True)
+
+    def test_unaligned_base_region(self):
+        """Regions need not start on a page boundary."""
+        tpt = TranslationProtectionTable()
+        va = 0x10000 + 100
+        region = tpt.install(va_base=va, nbytes=200, prot_tag=TAG_A,
+                             frames=[7])
+        segs = tpt.translate(region.handle, va + 10, 100, TAG_A)
+        assert segs == [(7 * PAGE_SIZE + 110, 100)]
