@@ -10,6 +10,7 @@ the kernel's own accounting invariants.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -56,6 +57,44 @@ def audit_tpt_consistency(agent: "KernelAgent") -> list[StaleEntry]:
                     handle=reg.handle, pid=reg.pid, vpn=vpn,
                     tpt_frame=tpt_frame, actual_frame=actual))
     return stale
+
+
+@dataclass(frozen=True)
+class LeakedPin:
+    """A frame holding more pins than live registrations explain."""
+
+    frame: int
+    pin_count: int
+    expected: int
+
+
+def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent"
+                    ) -> list[LeakedPin]:
+    """Find frames whose pin count exceeds what live registrations
+    explain — the leak signature of an error path that dropped a
+    registration record without releasing its pin.
+
+    Each live registration of a pin-based backend (the paper's kiobuf
+    proposal) holds exactly one pin per page of its range.  Pins held by
+    non-VIA users (raw I/O in flight) are accounted the same way only if
+    their owner is passed in, so call this at quiesce points: after a
+    chaos run has completed or failed every transfer and released its
+    buffers, every remaining pin must be explained by a registration
+    still recorded in some agent.  Backends that do not pin
+    (refcount-only) vacuously pass.
+    """
+    expected: Counter[int] = Counter()
+    for agent in agents:
+        for reg in agent.registrations.values():
+            for frame in reg.region.frames:
+                expected[frame] += 1
+    leaks: list[LeakedPin] = []
+    for pd in kernel.pagemap:
+        if pd.pin_count > expected.get(pd.frame, 0):
+            leaks.append(LeakedPin(frame=pd.frame,
+                                   pin_count=pd.pin_count,
+                                   expected=expected.get(pd.frame, 0)))
+    return leaks
 
 
 def audit_kernel_invariants(kernel: "Kernel") -> None:

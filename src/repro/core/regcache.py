@@ -63,6 +63,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     capacity_failures: int = 0
+    #: registration attempts retried after a VIP_ERROR_RESOURCE failure
+    retries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -74,11 +76,15 @@ class RegistrationCache:
     """LRU cache of registrations for one (agent, task) pair."""
 
     def __init__(self, agent: "KernelAgent", task: "Task",
-                 max_pages: int | None = None) -> None:
+                 max_pages: int | None = None,
+                 max_register_attempts: int = 3) -> None:
         self.agent = agent
         self.task = task
         #: page budget; None = bounded only by the TPT
         self.max_pages = max_pages
+        #: how many times a failing registration is retried when there
+        #: is nothing left to evict (transient VIP_ERROR_RESOURCE)
+        self.max_register_attempts = max_register_attempts
         self._entries: dict[tuple[int, int, int], CacheEntry] = {}
         self._tick = 0
         self.stats = CacheStats()
@@ -137,6 +143,7 @@ class RegistrationCache:
             while (self._pages_cached() + want_pages > self.max_pages
                    and self._evict_one()):
                 pass
+        attempts = 0
         while True:
             try:
                 reg = self.agent.register_memory(
@@ -144,12 +151,24 @@ class RegistrationCache:
                     rdma_write=rdma_write, rdma_read=rdma_read)
                 break
             except ViaError as exc:
-                # TPT full: evict and retry; give up when nothing is
-                # evictable.
-                if exc.status != "VIP_ERROR_RESOURCE" or \
-                        not self._evict_one():
+                if exc.status != "VIP_ERROR_RESOURCE":
+                    raise
+                # Resource pressure: shed an unused cached entry (freeing
+                # TPT capacity *and* pinned pages) and retry.  When
+                # nothing is evictable the failure may still be
+                # transient, so retry up to max_register_attempts times
+                # before surfacing it.
+                attempts += 1
+                evicted = self._evict_one()
+                retry = evicted or attempts < self.max_register_attempts
+                self.agent.kernel.trace.emit(
+                    "regcache_retry", pid=self.task.pid, va=base,
+                    nbytes=length, attempt=attempts, evicted=evicted,
+                    giving_up=not retry)
+                if not retry:
                     self.stats.capacity_failures += 1
                     raise
+                self.stats.retries += 1
         entry = CacheEntry(registration=reg, users=1, last_use=self._tick,
                            rdma_write=rdma_write, rdma_read=rdma_read)
         self._entries[entry.key] = entry

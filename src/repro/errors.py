@@ -123,12 +123,18 @@ class DescriptorError(ViaError):
         super().__init__(message, status="VIP_INVALID_PARAMETER")
 
 
-class ConnectionError_(ViaError):
+class ViaConnectionError(ViaError):
     """VI connection management failed (already connected, peer missing,
     reliability-mode mismatch...)."""
 
     def __init__(self, message: str):
         super().__init__(message, status="VIP_INVALID_STATE")
+
+
+#: Deprecated alias — the class was once named with a trailing underscore
+#: to dodge the ``ConnectionError`` builtin, which leaked an awkward name
+#: into user-facing tracebacks.  Will be removed in a future release.
+ConnectionError_ = ViaConnectionError
 
 
 class QueueEmpty(ViaError):

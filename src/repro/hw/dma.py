@@ -14,10 +14,16 @@ the paper demonstrates; the simulator must not be "helpful" here.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.errors import DMAFault
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultPlan
 
 
 class DMAEngine:
@@ -37,8 +43,10 @@ class DMAEngine:
         self._costs = costs
         self._trace = trace
         self.name = name
+        self.fault_plan: "FaultPlan | None" = None
         self.bytes_read = 0
         self.bytes_written = 0
+        self.faults_injected = 0
 
     # -- scatter helpers ----------------------------------------------------
 
@@ -54,10 +62,23 @@ class DMAEngine:
             addr += n
             remaining -= n
 
+    def _maybe_fault(self, op: str, phys_addr: int, length: int) -> None:
+        """Raise an injected :class:`DMAFault` when the plan says so —
+        the simulator's stand-in for a PCI abort or parity error."""
+        if self.fault_plan is not None and self.fault_plan.should_fail_dma():
+            self.faults_injected += 1
+            if self._trace is not None:
+                self._trace.emit("dma_fault_injected", engine=self.name,
+                                 op=op, phys_addr=phys_addr, length=length)
+            raise DMAFault(
+                f"{self.name}: injected fault during {op} of {length} "
+                f"bytes at {phys_addr:#x}")
+
     # -- transfers -----------------------------------------------------------
 
     def read(self, phys_addr: int, length: int) -> bytes:
         """DMA-read ``length`` bytes starting at flat ``phys_addr``."""
+        self._maybe_fault("read", phys_addr, length)
         self._clock.charge(self._costs.dma_setup_ns, "dma")
         self._clock.charge(self._costs.dma_ns(length), "dma")
         out = bytearray()
@@ -71,6 +92,7 @@ class DMAEngine:
 
     def write(self, phys_addr: int, data: bytes) -> None:
         """DMA-write ``data`` starting at flat ``phys_addr``."""
+        self._maybe_fault("write", phys_addr, len(data))
         self._clock.charge(self._costs.dma_setup_ns, "dma")
         self._clock.charge(self._costs.dma_ns(len(data)), "dma")
         pos = 0

@@ -35,6 +35,7 @@ from repro.via.descriptor import DataSegment, Descriptor
 _RTS = struct.Struct("<4sQQ")   # magic, nbytes, msg_id
 _CTS = struct.Struct("<4sQQQ")  # magic, handle, remote_va, msg_id
 _FIN = struct.Struct("<4sQ")    # magic, msg_id
+_CPY = struct.Struct("<4sQ")    # magic, msg_id — "degrade to copy mode"
 
 
 @dataclass
@@ -50,6 +51,11 @@ class TransferResult:
     registrations: int = 0          #: registrations on the critical path
     cache_hits: int = 0
     corrupt: bool = False           #: payload mismatch at the receiver
+    #: the protocol fell back to a slower mode (copy instead of
+    #: zero-copy) because dynamic registration failed
+    degraded: bool = False
+    #: registration attempts the caches retried under pressure
+    registration_retries: int = 0
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -78,6 +84,7 @@ class Protocol(abc.ABC):
         clock = sender.machine.kernel.clock
         copies0 = sender.copies_bytes + receiver.copies_bytes
         ctrl0 = sender.control_messages + receiver.control_messages
+        retries0 = sender.cache.stats.retries + receiver.cache.stats.retries
         result = TransferResult(protocol=self.name, nbytes=nbytes,
                                 ok=False, sim_ns=0)
         with clock.measure() as span:
@@ -88,6 +95,9 @@ class Protocol(abc.ABC):
                                + receiver.copies_bytes - copies0)
         result.control_messages = (sender.control_messages
                                    + receiver.control_messages - ctrl0)
+        result.registration_retries = (sender.cache.stats.retries
+                                       + receiver.cache.stats.retries
+                                       - retries0)
         result.ok = not result.corrupt
         return result
 
@@ -248,6 +258,38 @@ class RendezvousZeroCopyProtocol(Protocol):
         else:
             ep.ua.deregister_mem(reg)
 
+    def _degrade_to_copy(self, sender: Endpoint, receiver: Endpoint,
+                         src_va: int, dst_va: int, nbytes: int,
+                         result: TransferResult, exc: ViaError,
+                         side: str) -> None:
+        """Dynamic registration failed: finish the transfer through the
+        preregistered bounce buffers instead (the copy protocol needs no
+        registration on the critical path).  The degrading side tells
+        its peer with a CPY control message."""
+        result.degraded = True
+        result.notes.append(
+            f"{side} registration failed ({exc.status}); "
+            f"degraded to copy protocol")
+        sender.machine.kernel.trace.emit(
+            "protocol_fallback", protocol=self.name, side=side,
+            status=exc.status, nbytes=nbytes)
+        if side == "receiver":
+            receiver.send_control(_CPY.pack(b"CPY!", 1))
+            assert _CPY.unpack(sender.recv_control())[0] == b"CPY!"
+        else:
+            sender.send_control(_CPY.pack(b"CPY!", 1))
+            assert _CPY.unpack(receiver.recv_control())[0] == b"CPY!"
+        offset = 0
+        while offset < nbytes:
+            n = min(Endpoint.CHUNK, nbytes - offset)
+            data = sender.task.read(src_va + offset, n)
+            sender.send_chunk(data)
+            payload, _ = receiver.recv_chunk()
+            receiver.task.write(dst_va + offset, payload)
+            receiver.copies_bytes += len(payload)
+            offset += n
+        self._verify(sender, receiver, src_va, dst_va, nbytes, result)
+
     def _transfer(self, sender: Endpoint, receiver: Endpoint,
                   src_va: int, dst_va: int, nbytes: int,
                   result: TransferResult) -> None:
@@ -257,14 +299,25 @@ class RendezvousZeroCopyProtocol(Protocol):
         _, size, _ = _RTS.unpack(rts)
 
         # Receiver registers its *user* buffer dynamically and exposes it.
-        rreg, rcached = self._register(receiver, dst_va, size, result,
-                                       rdma_write=True)
+        try:
+            rreg, rcached = self._register(receiver, dst_va, size, result,
+                                           rdma_write=True)
+        except ViaError as exc:
+            self._degrade_to_copy(sender, receiver, src_va, dst_va,
+                                  nbytes, result, exc, side="receiver")
+            return
         receiver.send_control(_CTS.pack(b"CTS!", rreg.handle, dst_va, 1))
         cts = sender.recv_control()
         _, rhandle, rva, _ = _CTS.unpack(cts)
 
         # Sender registers its user buffer and RDMA-writes directly.
-        sreg, scached = self._register(sender, src_va, nbytes, result)
+        try:
+            sreg, scached = self._register(sender, src_va, nbytes, result)
+        except ViaError as exc:
+            self._release(receiver, rreg, rcached, dst_va, size)
+            self._degrade_to_copy(sender, receiver, src_va, dst_va,
+                                  nbytes, result, exc, side="sender")
+            return
         desc = Descriptor.rdma_write(
             [DataSegment(sreg.handle, src_va, nbytes)],
             remote_handle=rhandle, remote_va=rva)

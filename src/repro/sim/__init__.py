@@ -1,8 +1,11 @@
-"""Simulation support: deterministic clock, cost model, tracing, RNG."""
+"""Simulation support: deterministic clock, cost model, tracing, RNG,
+fault injection."""
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+from repro.sim.faults import FaultPlan, FaultStats, install
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.rng import make_rng
 
-__all__ = ["SimClock", "CostModel", "Trace", "TraceEvent", "make_rng"]
+__all__ = ["SimClock", "CostModel", "FaultPlan", "FaultStats", "install",
+           "Trace", "TraceEvent", "make_rng"]

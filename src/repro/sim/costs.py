@@ -59,6 +59,11 @@ class CostModel:
     pio_stream_per_byte_ns: float = 12.0
     nic_wire_latency_ns: int = 4_000  #: fabric propagation per packet
     completion_post_ns: int = 800    #: NIC writes completion, CPU polls it
+    #: retransmission timer of a RELIABLE VI: initial expiry, exponential
+    #: backoff factor, and the cap the backoff saturates at
+    retransmit_timeout_ns: int = 20_000
+    retransmit_backoff: float = 2.0
+    retransmit_timeout_max_ns: int = 640_000
     #: blocking-wait completion: kernel trap + reschedule ("reawakening a
     #: process is, of course, more expensive than polling on a local
     #: memory location")
@@ -98,4 +103,5 @@ FREE = CostModel(
     dma_setup_ns=0, dma_per_byte_ns=0.0, pio_word_ns=0,
     pio_stream_per_byte_ns=0.0,
     nic_wire_latency_ns=0, completion_post_ns=0, reschedule_ns=0,
+    retransmit_timeout_ns=0, retransmit_timeout_max_ns=0,
 )

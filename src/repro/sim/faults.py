@@ -1,0 +1,226 @@
+"""Deterministic, seeded fault injection.
+
+The paper's argument is that unreliable pinning corrupts VIA transfers
+*silently*; demonstrating that the rest of the stack keeps its
+invariants requires injecting failures systematically, not waiting for
+them.  A :class:`FaultPlan` is a seeded schedule of misbehaviour that
+the fabric, NICs, DMA engines, and the Kernel Agent consult at their
+fault points:
+
+* **wire faults** — drop, duplicate, corrupt, or delay fabric packets
+  (probabilities per packet, one shared RNG so a seed fully determines
+  a run);
+* **DMA faults** — a transfer fails mid-flight, as a real bus-master
+  would on a parity error or PCI abort;
+* **registration faults** — the next N registration or pin attempts
+  fail with ``VIP_ERROR_RESOURCE``, modelling TPT exhaustion or a
+  locking backend that cannot pin under memory pressure;
+* **NIC reset** — at a scheduled simulated time a NIC resets: every
+  active VI transitions to ``ERROR`` and outstanding descriptors
+  complete with ``VIP_ERROR_CONN_LOST``.
+
+Wire a plan into a running system with :func:`install`::
+
+    plan = FaultPlan(seed=7, loss_rate=0.2, corrupt_rate=0.05)
+    install(plan, cluster)          # or a single Machine / Fabric
+
+Every decision the plan takes is counted in :class:`FaultStats`, so
+chaos tests can assert both that faults actually fired and that the
+stack survived them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.rng import make_rng
+
+#: Default extra latency of a delayed packet (one disk-seek-ish stall).
+DEFAULT_DELAY_NS = 20_000
+
+
+@dataclass
+class FaultStats:
+    """How many faults of each kind a plan has injected."""
+
+    drops: int = 0
+    duplicates: int = 0
+    corruptions: int = 0
+    delays: int = 0
+    dma_failures: int = 0
+    registration_failures: int = 0
+    pin_failures: int = 0
+    nic_resets: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.drops + self.duplicates + self.corruptions
+                + self.delays + self.dma_failures
+                + self.registration_failures + self.pin_failures
+                + self.nic_resets)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of injected failures.
+
+    Rates are per-decision probabilities in ``[0, 1]``; budgets
+    (``registration_failures``, ``pin_failures``) are consumed
+    first-come-first-served; the NIC reset is a one-shot scheduled at a
+    simulated time.  All draws come from one RNG, so the same seed and
+    the same workload replay the same faults.
+    """
+
+    seed: int = 0
+    #: probability a fabric packet (or its ACK) is dropped in flight
+    loss_rate: float = 0.0
+    #: probability a delivered packet is delivered a second time
+    duplicate_rate: float = 0.0
+    #: probability a packet's payload is corrupted in flight
+    corrupt_rate: float = 0.0
+    #: probability a packet is delayed by ``delay_ns`` extra wire time
+    delay_rate: float = 0.0
+    delay_ns: int = DEFAULT_DELAY_NS
+    #: probability any single DMA transfer faults
+    dma_fail_rate: float = 0.0
+    #: fail the next N memory registrations (driver/TPT level)
+    registration_failures: int = 0
+    #: fail the next N pin attempts (locking-backend level)
+    pin_failures: int = 0
+    #: reset a NIC at this simulated time (None = never)
+    nic_reset_at_ns: int | None = None
+    #: restrict the reset to one NIC by name (None = every NIC checks)
+    nic_reset_name: str | None = None
+
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        for attr in ("loss_rate", "duplicate_rate", "corrupt_rate",
+                     "delay_rate", "dma_fail_rate"):
+            rate = getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {rate}")
+        self._rng = make_rng(self.seed)
+        self._reset_fired = False
+
+    # -- wire faults --------------------------------------------------------
+
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    def should_drop(self) -> bool:
+        """Drop this packet (or this ACK)?"""
+        if self._roll(self.loss_rate):
+            self.stats.drops += 1
+            return True
+        return False
+
+    def should_duplicate(self) -> bool:
+        """Deliver this packet a second time?"""
+        if self._roll(self.duplicate_rate):
+            self.stats.duplicates += 1
+            return True
+        return False
+
+    def should_corrupt(self) -> bool:
+        """Corrupt this packet's payload in flight?"""
+        if self._roll(self.corrupt_rate):
+            self.stats.corruptions += 1
+            return True
+        return False
+
+    def corrupt(self, payload: bytes) -> bytes:
+        """Flip one deterministic byte of ``payload`` (empty payloads
+        come back empty — there is nothing to corrupt)."""
+        if not payload:
+            return payload
+        index = int(self._rng.integers(0, len(payload)))
+        out = bytearray(payload)
+        out[index] ^= 0xFF
+        return bytes(out)
+
+    def delay(self) -> int:
+        """Extra wire nanoseconds for this packet (0 = on time)."""
+        if self._roll(self.delay_rate):
+            self.stats.delays += 1
+            return self.delay_ns
+        return 0
+
+    # -- DMA faults ---------------------------------------------------------
+
+    def should_fail_dma(self) -> bool:
+        """Fault this DMA transfer?"""
+        if self._roll(self.dma_fail_rate):
+            self.stats.dma_failures += 1
+            return True
+        return False
+
+    # -- registration faults ------------------------------------------------
+
+    def take_registration_failure(self) -> bool:
+        """Consume one registration-failure budget slot (False = none
+        left; the registration proceeds normally)."""
+        if self.registration_failures > 0:
+            self.registration_failures -= 1
+            self.stats.registration_failures += 1
+            return True
+        return False
+
+    def take_pin_failure(self) -> bool:
+        """Consume one pin-failure budget slot."""
+        if self.pin_failures > 0:
+            self.pin_failures -= 1
+            self.stats.pin_failures += 1
+            return True
+        return False
+
+    # -- NIC reset ----------------------------------------------------------
+
+    def nic_reset_due(self, now_ns: int, nic_name: str) -> bool:
+        """One-shot: has the scheduled reset time arrived for this NIC?"""
+        if (self._reset_fired or self.nic_reset_at_ns is None
+                or now_ns < self.nic_reset_at_ns):
+            return False
+        if (self.nic_reset_name is not None
+                and nic_name != self.nic_reset_name):
+            return False
+        self._reset_fired = True
+        self.stats.nic_resets += 1
+        return True
+
+
+def install(plan: FaultPlan | None, target) -> FaultPlan | None:
+    """Wire ``plan`` into every fault point reachable from ``target``.
+
+    ``target`` may be a :class:`~repro.via.machine.Cluster`, a
+    :class:`~repro.via.machine.Machine`, or a bare
+    :class:`~repro.via.fabric.Fabric` (which covers its attached NICs).
+    Passing ``plan=None`` uninstalls fault injection again.  Returns the
+    plan for chaining.
+    """
+    # Local imports: sim must stay importable without the via layer.
+    from repro.via.fabric import Fabric
+    from repro.via.machine import Cluster, Machine
+
+    if isinstance(target, Cluster):
+        target.fabric.fault_plan = plan
+        for machine in target.machines:
+            _install_machine(plan, machine)
+    elif isinstance(target, Machine):
+        target.fabric.fault_plan = plan
+        _install_machine(plan, target)
+    elif isinstance(target, Fabric):
+        target.fault_plan = plan
+        for nic in target.nics.values():
+            nic.fault_plan = plan
+            nic.dma.fault_plan = plan
+    else:
+        raise TypeError(
+            f"cannot install a FaultPlan on {type(target).__name__}")
+    return plan
+
+
+def _install_machine(plan: FaultPlan | None, machine) -> None:
+    machine.nic.fault_plan = plan
+    machine.nic.dma.fault_plan = plan
+    machine.agent.fault_plan = plan

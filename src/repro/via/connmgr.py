@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import ConnectionError_
+from repro.errors import ViaConnectionError
 from repro.via.constants import ViState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,12 +50,12 @@ class ConnectionManager:
         """``VipConnectWait``: park ``vi`` awaiting a client that names
         ``(nic, discriminator)``.  One listener per address."""
         if vi.state != ViState.IDLE:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"VI {vi.vi_id} must be idle to listen "
                 f"(is {vi.state.value})")
         key = (nic.name, bytes(discriminator))
         if key in self._listeners:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"discriminator {discriminator!r} already has a listener "
                 f"on {nic.name}")
         self._listeners[key] = _Listener(nic, vi, bytes(discriminator))
@@ -79,12 +79,12 @@ class ConnectionManager:
         key = (remote_nic_name, bytes(discriminator))
         listener = self._listeners.get(key)
         if listener is None:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"no listener at {remote_nic_name}/{discriminator!r} "
                 f"(connection timeout)")
         if listener.vi.reliability != vi.reliability:
             # The spec rejects the request; the listener keeps waiting.
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"reliability mismatch: client "
                 f"{vi.reliability.value}, server "
                 f"{listener.vi.reliability.value}")

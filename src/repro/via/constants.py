@@ -20,6 +20,7 @@ VIP_INVALID_MEMORY = "VIP_INVALID_MEMORY"
 VIP_INVALID_STATE = "VIP_INVALID_STATE"
 VIP_ERROR_CONN_LOST = "VIP_ERROR_CONN_LOST"
 VIP_DESCRIPTOR_ERROR = "VIP_DESCRIPTOR_ERROR"
+VIP_ERROR_NIC = "VIP_ERROR_NIC"
 
 
 class DescriptorType(enum.Enum):
@@ -57,3 +58,7 @@ IMMEDIATE_DATA_BYTES = 4
 
 #: Default TPT capacity, in page entries.
 DEFAULT_TPT_ENTRIES = 8192
+
+#: Retransmission attempts a RELIABLE VI makes before declaring the
+#: connection lost (the original transmission is not counted).
+MAX_RETRANSMITS = 7

@@ -2,23 +2,41 @@
 
 Delivery is synchronous and deterministic: transmitting a packet calls
 straight into the destination NIC's delivery routine, charging wire
-latency to the (shared) simulated clock.  Optional packet loss can be
-injected for ``UNRELIABLE`` VIs to exercise reliability handling.
+latency to the (shared) simulated clock.  Faults can be injected two
+ways: the legacy ``loss_rate`` drops packets uniformly, and an installed
+:class:`~repro.sim.faults.FaultPlan` can additionally duplicate,
+corrupt, or delay them.
+
+For ``UNRELIABLE`` VIs a drop is silent (fire-and-forget).  For the
+RELIABLE levels the fabric reports what happened to the sending NIC as
+an :class:`Attempt` — delivered-and-ACKed, dropped, NACKed (the
+link-layer CRC caught corruption), or delivered-but-ACK-lost — and the
+*NIC* runs the retransmission protocol on top
+(:meth:`~repro.via.nic.VIANic._transmit_reliable`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
-from repro.errors import ConnectionError_
+from repro.errors import ViaConnectionError
 from repro.sim.rng import make_rng
 from repro.via.constants import (
-    VIP_SUCCESS, DescriptorType, ReliabilityLevel, ViState,
+    VIP_ERROR_CONN_LOST, VIP_SUCCESS, DescriptorType, ReliabilityLevel,
+    ViState,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultPlan
     from repro.via.nic import VIANic
+
+
+def payload_checksum(payload: bytes) -> int:
+    """The link-layer CRC a NIC stamps on (and verifies against) a
+    packet's payload."""
+    return zlib.crc32(payload)
 
 
 @dataclass
@@ -38,6 +56,24 @@ class Packet:
     remote_va: int | None = None
     #: RDMA read only: how many bytes to fetch
     read_length: int = 0
+    #: sequence number on RELIABLE VIs (0 = unsequenced)
+    seq: int = 0
+    #: link-layer CRC of ``payload`` (None = sender did not stamp one)
+    checksum: int | None = None
+
+
+@dataclass
+class Attempt:
+    """Outcome of one wire attempt of a RELIABLE packet."""
+
+    #: ``delivered`` | ``dropped`` | ``nack`` | ``ack_lost``
+    kind: str
+    #: receiver's completion status (``delivered``/``ack_lost`` only)
+    status: str | None = None
+
+    @property
+    def acked(self) -> bool:
+        return self.kind == "delivered"
 
 
 class Fabric:
@@ -49,6 +85,12 @@ class Fabric:
         self._rng = make_rng(seed)
         self.packets_sent = 0
         self.packets_dropped = 0
+        #: implicit hardware ACKs of RELIABLE deliveries (not counted as
+        #: packets, so unreliable accounting is unchanged)
+        self.acks_sent = 0
+        self.acks_dropped = 0
+        self.packets_nacked = 0
+        self.fault_plan: "FaultPlan | None" = None
         self._connmgr = None
 
     @property
@@ -64,7 +106,7 @@ class Fabric:
     def attach(self, nic: "VIANic") -> None:
         """Attach a NIC; names must be unique fabric-wide."""
         if nic.name in self.nics:
-            raise ConnectionError_(f"NIC name {nic.name!r} already attached")
+            raise ViaConnectionError(f"NIC name {nic.name!r} already attached")
         self.nics[nic.name] = nic
         nic.fabric = self
 
@@ -72,7 +114,7 @@ class Fabric:
         """Look an attached NIC up by name."""
         nic = self.nics.get(name)
         if nic is None:
-            raise ConnectionError_(f"no NIC named {name!r} on this fabric")
+            raise ViaConnectionError(f"no NIC named {name!r} on this fabric")
         return nic
 
     # -- connection management ------------------------------------------------
@@ -84,15 +126,15 @@ class Fabric:
         a = nic_a.vi(vi_a)
         b = nic_b.vi(vi_b)
         if a.state != ViState.IDLE or b.state != ViState.IDLE:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"both VIs must be idle (got {a.state.value}, "
                 f"{b.state.value})")
         if a.reliability != b.reliability:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"reliability mismatch: {a.reliability.value} vs "
                 f"{b.reliability.value}")
         if a is b:
-            raise ConnectionError_("cannot connect a VI to itself")
+            raise ViaConnectionError("cannot connect a VI to itself")
         a.peer = (nic_b.name, vi_b)
         b.peer = (nic_a.name, vi_a)
         a.state = b.state = ViState.CONNECTED
@@ -116,29 +158,142 @@ class Fabric:
         nic.kernel.clock.charge(costs.nic_wire_latency_ns, "wire")
         nic.kernel.clock.charge(costs.dma_ns(nbytes), "wire")
 
-    def transmit(self, src: "VIANic", packet: Packet,
-                 reliability: ReliabilityLevel) -> str:
-        """Carry ``packet`` to its destination NIC; returns the delivery
-        status (``VIP_SUCCESS`` or an error code)."""
+    def _roll_drop(self) -> bool:
+        """One drop decision, combining the fault plan and the legacy
+        uniform ``loss_rate``."""
+        if self.fault_plan is not None and self.fault_plan.should_drop():
+            return True
+        return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+
+    def attempt_delivery(self, src: "VIANic", packet: Packet,
+                         reliability: ReliabilityLevel) -> Attempt:
+        """One wire attempt: carry ``packet`` to its destination,
+        injecting any planned faults, and report what happened.
+
+        For RELIABLE levels a successful delivery also generates the
+        implicit hardware ACK, which can itself be lost — the sender
+        must then retransmit and rely on receiver-side deduplication.
+        """
+        plan = self.fault_plan
+        trace = src.kernel.trace
         self.packets_sent += 1
         self._charge_wire(src, len(packet.payload))
-        if (reliability == ReliabilityLevel.UNRELIABLE
-                and self.loss_rate > 0.0
-                and self._rng.random() < self.loss_rate):
+
+        if plan is not None:
+            extra_ns = plan.delay()
+            if extra_ns:
+                src.kernel.clock.charge(extra_ns, "wire")
+                trace.emit("packet_delayed", dst=packet.dst_nic,
+                           vi=packet.dst_vi, seq=packet.seq,
+                           extra_ns=extra_ns)
+
+        if self._roll_drop():
             self.packets_dropped += 1
-            src.kernel.trace.emit("packet_lost", dst=packet.dst_nic,
-                                  vi=packet.dst_vi)
-            return VIP_SUCCESS   # fire-and-forget: sender never knows
+            trace.emit("packet_lost", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq)
+            return Attempt("dropped")
+
+        wire_packet = packet
+        if plan is not None and plan.should_corrupt():
+            wire_packet = replace(packet,
+                                  payload=plan.corrupt(packet.payload))
+            trace.emit("packet_corrupted", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq)
+
+        # Link-layer CRC check at the receiving NIC.  A sender that
+        # stamped no checksum (legacy/control path) is not verified.
+        if (wire_packet.checksum is not None
+                and payload_checksum(wire_packet.payload)
+                != wire_packet.checksum):
+            self.packets_nacked += 1
+            trace.emit("packet_nack", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq)
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                # unreliable links silently discard corrupt frames
+                self.packets_dropped += 1
+                return Attempt("dropped")
+            return Attempt("nack")
+
         dst = self.nic(packet.dst_nic)
-        return dst.deliver(packet, reliability)
+        status = dst.deliver(wire_packet, reliability)
+
+        if plan is not None and plan.should_duplicate():
+            trace.emit("packet_duplicated", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq)
+            # RELIABLE receivers deduplicate on seq; UNRELIABLE VIs see
+            # the duplicate, exactly as on a real unreliable link.
+            dst.deliver(wire_packet, reliability)
+
+        if reliability != ReliabilityLevel.UNRELIABLE:
+            self.acks_sent += 1
+            if self._roll_drop():
+                self.acks_dropped += 1
+                trace.emit("ack_lost", dst=packet.src_nic,
+                           vi=packet.src_vi, seq=packet.seq)
+                return Attempt("ack_lost", status)
+        return Attempt("delivered", status)
+
+    def transmit(self, src: "VIANic", packet: Packet,
+                 reliability: ReliabilityLevel) -> str:
+        """Single-shot transmission; returns the delivery status.
+
+        This is the fire-and-forget path: drops and corruption are
+        silent successes for ``UNRELIABLE`` VIs (the sender never
+        knows), and ``VIP_ERROR_CONN_LOST`` for RELIABLE callers that
+        bypass the NIC's retransmission protocol.
+        """
+        attempt = self.attempt_delivery(src, packet, reliability)
+        if attempt.kind in ("delivered", "ack_lost"):
+            return attempt.status
+        if reliability == ReliabilityLevel.UNRELIABLE:
+            return VIP_SUCCESS
+        return VIP_ERROR_CONN_LOST
+
+    def attempt_rdma_read(self, src: "VIANic", packet: Packet,
+                          reliability: ReliabilityLevel
+                          ) -> tuple[Attempt, bytes]:
+        """One round-trip attempt of an RDMA-read request.
+
+        The request and the response are each subject to loss; the
+        response payload is subject to corruption (caught by CRC and
+        reported as a NACK so the requester retries immediately).
+        RDMA reads are idempotent, so no deduplication is needed.
+        """
+        plan = self.fault_plan
+        trace = src.kernel.trace
+        self.packets_sent += 2   # request + response
+        self._charge_wire(src, 0)
+
+        if self._roll_drop():   # request lost
+            self.packets_dropped += 1
+            trace.emit("packet_lost", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq, rdma="read_req")
+            return Attempt("dropped"), b""
+
+        dst = self.nic(packet.dst_nic)
+        status, payload = dst.serve_rdma_read(packet, reliability)
+        self._charge_wire(src, len(payload))
+
+        if status == VIP_SUCCESS and self._roll_drop():   # response lost
+            self.packets_dropped += 1
+            trace.emit("packet_lost", dst=packet.src_nic,
+                       vi=packet.src_vi, seq=packet.seq, rdma="read_resp")
+            return Attempt("dropped"), b""
+
+        if (status == VIP_SUCCESS and plan is not None
+                and plan.should_corrupt()):
+            trace.emit("packet_corrupted", dst=packet.src_nic,
+                       vi=packet.src_vi, seq=packet.seq, rdma="read_resp")
+            self.packets_nacked += 1
+            return Attempt("nack"), b""
+
+        return Attempt("delivered", status), payload
 
     def rdma_read_fetch(self, src: "VIANic", packet: Packet,
                         reliability: ReliabilityLevel
                         ) -> tuple[str, bytes]:
-        """Round-trip an RDMA-read request; returns (status, payload)."""
-        self.packets_sent += 2   # request + response
-        self._charge_wire(src, 0)
-        dst = self.nic(packet.dst_nic)
-        status, payload = dst.serve_rdma_read(packet, reliability)
-        self._charge_wire(src, len(payload))
-        return status, payload
+        """Single-shot RDMA-read round trip; returns (status, payload)."""
+        attempt, payload = self.attempt_rdma_read(src, packet, reliability)
+        if attempt.kind == "delivered":
+            return attempt.status, payload
+        return VIP_ERROR_CONN_LOST, b""

@@ -15,8 +15,8 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import InvalidArgument, NotRegistered
-from repro.via.constants import ReliabilityLevel
+from repro.errors import InvalidArgument, NotRegistered, ViaError
+from repro.via.constants import VIP_ERROR_RESOURCE, ReliabilityLevel
 from repro.via.cq import CompletionQueue
 from repro.via.locking import make_backend
 from repro.via.locking.base import LockingBackend
@@ -26,6 +26,7 @@ from repro.via.vi import VirtualInterface
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
     from repro.kernel.task import Task
+    from repro.sim.faults import FaultPlan
     from repro.via.nic import VIANic
 
 _tags = itertools.count(0x100)
@@ -61,6 +62,7 @@ class KernelAgent:
         self._tags: dict[int, int] = {}
         #: live registrations by handle
         self.registrations: dict[int, Registration] = {}
+        self.fault_plan: "FaultPlan | None" = None
 
     # ---------------------------------------------------------------- open
 
@@ -97,6 +99,22 @@ class KernelAgent:
         if nbytes <= 0:
             raise InvalidArgument(f"cannot register {nbytes} bytes")
         tag = self.prot_tag(task)
+        plan = self.fault_plan
+        if plan is not None and plan.take_registration_failure():
+            # Driver-level failure (TPT exhaustion, transient driver
+            # error) before any pin is taken — nothing to clean up.
+            self.kernel.trace.emit("fault_registration", pid=task.pid,
+                                   va=va, nbytes=nbytes)
+            raise ViaError("injected registration failure",
+                           status=VIP_ERROR_RESOURCE)
+        if plan is not None and plan.take_pin_failure():
+            # Backend-level failure: the locking mechanism could not pin
+            # the range (memory pressure, kiobuf allocation failure).
+            self.kernel.trace.emit("fault_pin", pid=task.pid, va=va,
+                                   nbytes=nbytes,
+                                   backend=self.backend.name)
+            raise ViaError("injected pin failure",
+                           status=VIP_ERROR_RESOURCE)
         result = self.backend.lock(self.kernel, task, va, nbytes)
         try:
             region = self.nic.tpt.install(

@@ -51,6 +51,12 @@ class Machine:
         """The machine's locking backend."""
         return self.agent.backend
 
+    def inject_faults(self, plan):
+        """Wire a :class:`~repro.sim.faults.FaultPlan` (or None to
+        disarm) into this machine's fabric, NIC, DMA engine, and driver."""
+        from repro.sim.faults import install
+        return install(plan, self)
+
     def spawn(self, name: str = "", uid: int = 1000) -> Task:
         """Create a task on this machine."""
         return self.kernel.create_task(uid=uid, name=name)
@@ -92,6 +98,12 @@ class Cluster:
                 tpt_entries=tpt_entries, clock=self.clock,
                 trace=self.trace, fabric=self.fabric,
                 min_free_pages=min_free_pages))
+
+    def inject_faults(self, plan):
+        """Wire a :class:`~repro.sim.faults.FaultPlan` (or None to
+        disarm) into the whole cluster."""
+        from repro.sim.faults import install
+        return install(plan, self)
 
     def __getitem__(self, i: int) -> Machine:
         return self.machines[i]

@@ -6,6 +6,15 @@ DMA → wire → remote delivery), charging every step to the simulated
 clock.  All memory traffic goes through the NIC's own
 :class:`~repro.hw.dma.DMAEngine` using **physical addresses recorded in
 the TPT at registration time** — the property under test.
+
+For RELIABLE VIs the NIC also runs the retransmission protocol the VIA
+spec mandates: every data packet carries a sequence number and a CRC;
+delivery is acknowledged implicitly; a lost packet (or lost ACK) expires
+a retransmission timer with exponential backoff; a corrupted packet is
+NACKed and resent immediately; the receiver deduplicates retransmits by
+sequence number.  When the retry budget is exhausted the connection is
+declared lost: the VI transitions to ``ERROR`` and every outstanding
+descriptor completes with ``VIP_ERROR_CONN_LOST``.
 """
 
 from __future__ import annotations
@@ -13,22 +22,24 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import (
-    ConnectionError_, DescriptorError, NotRegistered, ProtectionError,
-    ViaError,
+    DescriptorError, DMAFault, NotRegistered, ProtectionError,
+    ViaConnectionError, ViaError,
 )
 from repro.hw.dma import DMAEngine
 from repro.via.constants import (
-    VIP_DESCRIPTOR_ERROR, VIP_ERROR_CONN_LOST, VIP_NOT_DONE,
-    VIP_SUCCESS, DescriptorType, ReliabilityLevel, ViState,
+    MAX_RETRANSMITS, VIP_DESCRIPTOR_ERROR, VIP_ERROR_CONN_LOST,
+    VIP_ERROR_NIC, VIP_NOT_DONE, VIP_SUCCESS, DescriptorType,
+    ReliabilityLevel, ViState,
 )
 from repro.via.cq import CompletionQueue
 from repro.via.descriptor import Descriptor
-from repro.via.fabric import Packet
+from repro.via.fabric import Packet, payload_checksum
 from repro.via.tpt import TranslationProtectionTable
 from repro.via.vi import VirtualInterface
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
+    from repro.sim.faults import FaultPlan
     from repro.via.fabric import Fabric
 
 
@@ -36,7 +47,8 @@ class VIANic:
     """One VIA network interface controller."""
 
     def __init__(self, name: str, kernel: "Kernel",
-                 tpt_entries: int = 8192) -> None:
+                 tpt_entries: int = 8192,
+                 max_retransmits: int = MAX_RETRANSMITS) -> None:
         self.name = name
         self.kernel = kernel
         self.tpt = TranslationProtectionTable(tpt_entries)
@@ -44,6 +56,8 @@ class VIANic:
                              kernel.trace, name=f"{name}-dma")
         self.vis: dict[int, VirtualInterface] = {}
         self.fabric: "Fabric | None" = None
+        self.fault_plan: "FaultPlan | None" = None
+        self.max_retransmits = max_retransmits
         self._next_vi_id = 1
         # counters
         self.sends_completed = 0
@@ -52,6 +66,10 @@ class VIANic:
         self.rdma_reads_completed = 0
         self.recv_drops = 0           #: arrivals with no posted descriptor
         self.protection_faults = 0
+        self.retransmits = 0          #: reliable-mode resends
+        self.duplicates_dropped = 0   #: retransmits deduplicated by seq
+        self.dma_faults = 0           #: injected DMA failures absorbed
+        self.resets = 0               #: NIC resets (fault injection)
 
     # ------------------------------------------------------------------ VIs
 
@@ -74,16 +92,40 @@ class VIANic:
         """Look a VI up by id."""
         vi = self.vis.get(vi_id)
         if vi is None:
-            raise ConnectionError_(f"{self.name}: no VI {vi_id}")
+            raise ViaConnectionError(f"{self.name}: no VI {vi_id}")
         return vi
 
     def destroy_vi(self, vi_id: int) -> None:
         """Remove a VI (must be disconnected)."""
         vi = self.vi(vi_id)
         if vi.state == ViState.CONNECTED:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"VI {vi_id} is still connected")
         del self.vis[vi_id]
+
+    # ------------------------------------------------------------- fault hooks
+
+    def check_faults(self) -> None:
+        """Fire any scheduled fault whose time has come (NIC reset)."""
+        plan = self.fault_plan
+        if plan is not None and plan.nic_reset_due(
+                self.kernel.clock.now_ns, self.name):
+            self.reset(reason="scheduled")
+
+    def reset(self, reason: str = "fault") -> None:
+        """Reset the NIC: every active VI loses its connection.
+
+        Each VI transitions to ``ERROR`` and completes all outstanding
+        descriptors with ``VIP_ERROR_CONN_LOST``; peers discover the
+        loss on their next transmission (delivery to a reset VI returns
+        connection-lost).  Host-side state — registrations and TPT
+        entries — survives, as it does across a real adapter reset.
+        """
+        self.resets += 1
+        self.kernel.trace.emit("nic_reset", nic=self.name, reason=reason)
+        for vi in self.vis.values():
+            if vi.state != ViState.IDLE:
+                vi.enter_error()
 
     # ----------------------------------------------------------- descriptor posting
 
@@ -95,6 +137,7 @@ class VIANic:
 
     def post_recv(self, vi_id: int, desc: Descriptor, pid: int) -> None:
         """Post a receive descriptor (must precede the matching send)."""
+        self.check_faults()
         vi = self.vi(vi_id)
         desc.validate()
         if desc.dtype != DescriptorType.RECV:
@@ -109,6 +152,7 @@ class VIANic:
 
     def post_send(self, vi_id: int, desc: Descriptor, pid: int) -> None:
         """Post a send/RDMA descriptor and process it immediately."""
+        self.check_faults()
         vi = self.vi(vi_id)
         desc.validate()
         if desc.dtype == DescriptorType.RECV:
@@ -145,10 +189,56 @@ class VIANic:
         if vi.reliability != ReliabilityLevel.UNRELIABLE:
             vi.enter_error()
 
+    def _fail_send_dma(self, vi: VirtualInterface, desc: Descriptor) -> None:
+        """Complete a send descriptor whose local DMA faulted."""
+        self.dma_faults += 1
+        desc.complete(VIP_ERROR_NIC)
+        vi.complete_send(desc)
+        self.kernel.trace.emit("via_dma_fault", nic=self.name,
+                               vi=vi.vi_id, side="send")
+        if vi.reliability != ReliabilityLevel.UNRELIABLE:
+            vi.enter_error()
+
     def _process_send_queue(self, vi: VirtualInterface) -> None:
         while vi.send_queue and vi.state == ViState.CONNECTED:
             desc = vi.send_queue.popleft()
             self._execute_send(vi, desc)
+
+    # -- the reliability protocol (sender side) ------------------------------
+
+    def _transmit_reliable(self, vi: VirtualInterface,
+                           packet: Packet) -> str:
+        """Transmit with retransmission until ACKed or the retry budget
+        is exhausted; returns the receiver's status, or
+        ``VIP_ERROR_CONN_LOST`` after giving up."""
+        assert self.fabric is not None
+        clock = self.kernel.clock
+        costs = self.kernel.costs
+        trace = self.kernel.trace
+        timeout_ns = costs.retransmit_timeout_ns
+        for attempt in range(self.max_retransmits + 1):
+            if attempt:
+                self.retransmits += 1
+                trace.emit("via_retransmit", nic=self.name, vi=vi.vi_id,
+                           seq=packet.seq, attempt=attempt)
+            outcome = self.fabric.attempt_delivery(self, packet,
+                                                   vi.reliability)
+            if outcome.kind == "delivered":
+                return outcome.status
+            if outcome.kind in ("dropped", "ack_lost"):
+                # No ACK arrived: wait out the retransmission timer,
+                # then back off exponentially (capped).
+                clock.charge(timeout_ns, "retransmit")
+                trace.emit("via_retransmit_timeout", nic=self.name,
+                           vi=vi.vi_id, seq=packet.seq,
+                           waited_ns=timeout_ns, cause=outcome.kind)
+                timeout_ns = min(int(timeout_ns * costs.retransmit_backoff),
+                                 costs.retransmit_timeout_max_ns)
+            # NACK (CRC failure): the receiver asked for an immediate
+            # resend — no timer to wait for.
+        trace.emit("via_conn_lost", nic=self.name, vi=vi.vi_id,
+                   seq=packet.seq, retries=self.max_retransmits)
+        return VIP_ERROR_CONN_LOST
 
     def _execute_send(self, vi: VirtualInterface, desc: Descriptor) -> None:
         assert self.fabric is not None, "NIC not attached to a fabric"
@@ -166,13 +256,23 @@ class VIANic:
             self._execute_rdma_read(vi, desc, local_segs)
             return
 
-        payload = self.dma.read_gather(local_segs)
+        try:
+            payload = self.dma.read_gather(local_segs)
+        except DMAFault:
+            self._fail_send_dma(vi, desc)
+            return
         packet = Packet(
             kind=desc.dtype, src_nic=self.name, src_vi=vi.vi_id,
             dst_nic=dst_nic, dst_vi=dst_vi, payload=payload,
             immediate=desc.immediate_data,
             remote_handle=desc.remote_handle, remote_va=desc.remote_va)
-        status = self.fabric.transmit(self, packet, vi.reliability)
+        if vi.reliability == ReliabilityLevel.UNRELIABLE:
+            status = self.fabric.transmit(self, packet, vi.reliability)
+        else:
+            vi.tx_seq += 1
+            packet.seq = vi.tx_seq
+            packet.checksum = payload_checksum(payload)
+            status = self._transmit_reliable(vi, packet)
 
         if status == VIP_SUCCESS or vi.reliability == \
                 ReliabilityLevel.UNRELIABLE:
@@ -196,35 +296,90 @@ class VIANic:
             src_vi=vi.vi_id, dst_nic=dst_nic, dst_vi=dst_vi,
             remote_handle=desc.remote_handle, remote_va=desc.remote_va,
             read_length=desc.total_length)
-        status, payload = self.fabric.rdma_read_fetch(self, packet,
-                                                      vi.reliability)
+        if vi.reliability == ReliabilityLevel.UNRELIABLE:
+            status, payload = self.fabric.rdma_read_fetch(self, packet,
+                                                          vi.reliability)
+        else:
+            status, payload = self._fetch_rdma_read_reliable(vi, packet)
         if status != VIP_SUCCESS:
             desc.complete(status, 0)
             vi.complete_send(desc)
             if vi.reliability != ReliabilityLevel.UNRELIABLE:
                 vi.enter_error()
             return
-        self.dma.write_scatter(
-            _trim_segments(local_segs, len(payload)), payload)
+        try:
+            self.dma.write_scatter(
+                _trim_segments(local_segs, len(payload)), payload)
+        except DMAFault:
+            self._fail_send_dma(vi, desc)
+            return
         desc.complete(VIP_SUCCESS, len(payload))
         vi.complete_send(desc)
         self.rdma_reads_completed += 1
+
+    def _fetch_rdma_read_reliable(self, vi: VirtualInterface,
+                                  packet: Packet) -> tuple[str, bytes]:
+        """RDMA-read round trip with retransmission (reads are
+        idempotent, so a retry simply re-fetches)."""
+        assert self.fabric is not None
+        clock = self.kernel.clock
+        costs = self.kernel.costs
+        trace = self.kernel.trace
+        timeout_ns = costs.retransmit_timeout_ns
+        for attempt in range(self.max_retransmits + 1):
+            if attempt:
+                self.retransmits += 1
+                trace.emit("via_retransmit", nic=self.name, vi=vi.vi_id,
+                           seq=packet.seq, attempt=attempt, rdma="read")
+            outcome, payload = self.fabric.attempt_rdma_read(
+                self, packet, vi.reliability)
+            if outcome.kind == "delivered":
+                return outcome.status, payload
+            if outcome.kind == "dropped":
+                clock.charge(timeout_ns, "retransmit")
+                trace.emit("via_retransmit_timeout", nic=self.name,
+                           vi=vi.vi_id, seq=packet.seq,
+                           waited_ns=timeout_ns, cause="dropped")
+                timeout_ns = min(int(timeout_ns * costs.retransmit_backoff),
+                                 costs.retransmit_timeout_max_ns)
+        trace.emit("via_conn_lost", nic=self.name, vi=vi.vi_id,
+                   seq=packet.seq, retries=self.max_retransmits)
+        return VIP_ERROR_CONN_LOST, b""
 
     # --------------------------------------------------------------- delivery side
 
     def deliver(self, packet: Packet, reliability: ReliabilityLevel) -> str:
         """Accept an inbound packet from the fabric; returns a status the
         fabric relays to the sender."""
+        self.check_faults()
         vi = self.vis.get(packet.dst_vi)
         if vi is None or vi.state != ViState.CONNECTED or \
                 vi.peer != (packet.src_nic, packet.src_vi):
             return VIP_ERROR_CONN_LOST
 
+        # Deduplicate retransmits on RELIABLE VIs: a sequence number at
+        # or below the receive high-water mark was already processed
+        # (its ACK was lost, or the fabric duplicated it) — re-ACK
+        # without executing it again.
+        if reliability != ReliabilityLevel.UNRELIABLE and packet.seq:
+            if packet.seq <= vi.rx_seq:
+                self.duplicates_dropped += 1
+                self.kernel.trace.emit("via_duplicate", nic=self.name,
+                                       vi=vi.vi_id, seq=packet.seq)
+                return VIP_SUCCESS
+
         if packet.kind == DescriptorType.SEND:
-            return self._deliver_send(vi, packet, reliability)
-        if packet.kind == DescriptorType.RDMA_WRITE:
-            return self._deliver_rdma_write(vi, packet, reliability)
-        raise ViaError(f"cannot deliver packet kind {packet.kind}")
+            status = self._deliver_send(vi, packet, reliability)
+        elif packet.kind == DescriptorType.RDMA_WRITE:
+            status = self._deliver_rdma_write(vi, packet, reliability)
+        else:
+            raise ViaError(f"cannot deliver packet kind {packet.kind}")
+
+        if (status == VIP_SUCCESS
+                and reliability != ReliabilityLevel.UNRELIABLE
+                and packet.seq):
+            vi.rx_seq = packet.seq
+        return status
 
     def _deliver_send(self, vi: VirtualInterface, packet: Packet,
                       reliability: ReliabilityLevel) -> str:
@@ -257,8 +412,19 @@ class VIANic:
                 return VIP_SUCCESS
             vi.enter_error()
             return exc.status
-        self.dma.write_scatter(
-            _trim_segments(segs, len(packet.payload)), packet.payload)
+        try:
+            self.dma.write_scatter(
+                _trim_segments(segs, len(packet.payload)), packet.payload)
+        except DMAFault:
+            self.dma_faults += 1
+            desc.complete(VIP_ERROR_NIC, 0)
+            vi.complete_recv(desc)
+            self.kernel.trace.emit("via_dma_fault", nic=self.name,
+                                   vi=vi.vi_id, side="recv")
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return VIP_ERROR_NIC
         desc.received_immediate = packet.immediate
         desc.complete(VIP_SUCCESS, len(packet.payload))
         self.kernel.clock.charge(self.kernel.costs.completion_post_ns,
@@ -283,7 +449,16 @@ class VIANic:
                 return VIP_SUCCESS
             vi.enter_error()
             return exc.status
-        self.dma.write_scatter(segs, packet.payload)
+        try:
+            self.dma.write_scatter(segs, packet.payload)
+        except DMAFault:
+            self.dma_faults += 1
+            self.kernel.trace.emit("via_dma_fault", nic=self.name,
+                                   vi=vi.vi_id, side="rdma_write")
+            if reliability == ReliabilityLevel.UNRELIABLE:
+                return VIP_SUCCESS
+            vi.enter_error()
+            return VIP_ERROR_NIC
         # Immediate data makes the RDMA write visible to the receiver by
         # consuming one receive descriptor (VIA spec §2.2.2).
         if packet.immediate is not None:
@@ -303,6 +478,7 @@ class VIANic:
                         reliability: ReliabilityLevel
                         ) -> tuple[str, bytes]:
         """Serve an inbound RDMA-read request: translate and fetch."""
+        self.check_faults()
         vi = self.vis.get(packet.dst_vi)
         if vi is None or vi.state != ViState.CONNECTED or \
                 vi.peer != (packet.src_nic, packet.src_vi):
@@ -318,7 +494,15 @@ class VIANic:
             if reliability != ReliabilityLevel.UNRELIABLE:
                 vi.enter_error()
             return exc.status, b""
-        return VIP_SUCCESS, self.dma.read_gather(segs)
+        try:
+            return VIP_SUCCESS, self.dma.read_gather(segs)
+        except DMAFault:
+            self.dma_faults += 1
+            self.kernel.trace.emit("via_dma_fault", nic=self.name,
+                                   vi=vi.vi_id, side="rdma_read")
+            if reliability != ReliabilityLevel.UNRELIABLE:
+                vi.enter_error()
+            return VIP_ERROR_NIC, b""
 
 
 def _trim_segments(segments: list[tuple[int, int]],

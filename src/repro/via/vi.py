@@ -14,8 +14,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque
 
-from repro.errors import ConnectionError_
-from repro.via.constants import ReliabilityLevel, ViState
+from repro.errors import ViaConnectionError
+from repro.via.constants import (
+    VIP_ERROR_CONN_LOST, ReliabilityLevel, ViState,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.via.cq import CompletionQueue
@@ -39,7 +41,7 @@ class Doorbell:
         """Ring the doorbell; a foreign pid means the process faked a
         doorbell access it could never perform on real hardware."""
         if pid != self.owner_pid:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"pid {pid} rang doorbell of VI {self.vi_id} owned by "
                 f"pid {self.owner_pid}")
         self.rings += 1
@@ -70,6 +72,12 @@ class VirtualInterface:
     send_done: Deque["Descriptor"] = field(default_factory=deque)
     recv_done: Deque["Descriptor"] = field(default_factory=deque)
 
+    #: reliability protocol state: last sequence number transmitted, and
+    #: highest sequence number successfully received (for deduplication
+    #: of retransmits after a lost ACK)
+    tx_seq: int = 0
+    rx_seq: int = 0
+
     def __post_init__(self) -> None:
         if self.send_doorbell is None:
             self.send_doorbell = Doorbell(self.vi_id, "send", self.owner_pid)
@@ -85,12 +93,27 @@ class VirtualInterface:
     def require_connected(self) -> None:
         """Raise unless the VI is in the CONNECTED state."""
         if self.state != ViState.CONNECTED:
-            raise ConnectionError_(
+            raise ViaConnectionError(
                 f"VI {self.vi_id} is {self.state.value}, not connected")
 
-    def enter_error(self) -> None:
-        """Break the connection (reliable-mode delivery failure)."""
+    def enter_error(self, status: str = VIP_ERROR_CONN_LOST) -> None:
+        """Break the connection (reliable-mode delivery failure or NIC
+        reset).
+
+        Per the VIA spec, the transition completes every outstanding
+        descriptor on both work queues with ``VIP_ERROR_CONN_LOST`` so
+        user code polling for completions learns of the loss instead of
+        waiting forever.
+        """
         self.state = ViState.ERROR
+        while self.send_queue:
+            desc = self.send_queue.popleft()
+            desc.complete(status, 0)
+            self.complete_send(desc)
+        while self.recv_queue:
+            desc = self.recv_queue.popleft()
+            desc.complete(status, 0)
+            self.complete_recv(desc)
 
     # -- completion plumbing -------------------------------------------------------
 

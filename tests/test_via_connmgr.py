@@ -3,7 +3,7 @@ VipConnectRequest)."""
 
 import pytest
 
-from repro.errors import ConnectionError_
+from repro.errors import ViaConnectionError
 from repro.hw.physmem import PAGE_SIZE
 from repro.via.constants import ReliabilityLevel, ViState
 from repro.via.descriptor import Descriptor
@@ -53,7 +53,7 @@ class TestClientServer:
     def test_no_listener_times_out(self, cluster, agents):
         ua_c, _ = agents
         vi_c = ua_c.create_vi()
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_c.connect_request(vi_c, cluster[1].nic.name, b"absent")
 
     def test_discriminators_are_distinct(self, cluster, agents):
@@ -71,7 +71,7 @@ class TestClientServer:
         _, ua_s = agents
         a, b = ua_s.create_vi(), ua_s.create_vi()
         ua_s.connect_wait(a, b"svc")
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_s.connect_wait(b, b"svc")
 
     def test_connected_vi_cannot_listen(self, cluster, agents):
@@ -80,7 +80,7 @@ class TestClientServer:
         vi_c = ua_c.create_vi()
         ua_s.connect_wait(vi_s, b"x")
         ua_c.connect_request(vi_c, cluster[1].nic.name, b"x")
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_s.connect_wait(vi_s, b"y")
 
     def test_reliability_mismatch_keeps_listener(self, cluster, agents):
@@ -89,7 +89,7 @@ class TestClientServer:
             reliability=ReliabilityLevel.RELIABLE_DELIVERY)
         vi_c = ua_c.create_vi(reliability=ReliabilityLevel.UNRELIABLE)
         ua_s.connect_wait(vi_s, b"svc")
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_c.connect_request(vi_c, cluster[1].nic.name, b"svc")
         # The server keeps waiting for a compatible client.
         assert cluster.fabric.connmgr.pending == 1
@@ -104,7 +104,7 @@ class TestClientServer:
         ua_s.connect_wait(vi_s, b"svc")
         cluster.fabric.connmgr.unlisten(cluster[1].nic, b"svc")
         vi_c = ua_c.create_vi()
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_c.connect_request(vi_c, cluster[1].nic.name, b"svc")
 
     def test_loopback_client_server(self, cluster):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConnectionError_
+from repro.errors import ViaConnectionError
 from repro.sim.costs import CostModel
 from repro.via.machine import Cluster, Machine, connected_pair
 from repro.via.constants import ReliabilityLevel, ViState
@@ -56,7 +56,7 @@ class TestCluster:
 
     def test_nic_names_unique_on_fabric(self):
         c = Cluster(2)
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             c.fabric.attach(c[0].nic)
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import (
-    ConnectionError_, DescriptorError, QueueEmpty,
+    ViaConnectionError, DescriptorError, QueueEmpty,
 )
 from repro.hw.physmem import PAGE_SIZE
 from repro.via.constants import (
@@ -238,7 +238,7 @@ class TestPostingRules:
     def test_send_on_unconnected_vi_rejected(self, pair):
         cluster, ua_s, ua_r, vi_s, vi_r = pair
         lone = ua_s.create_vi()
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             ua_s.post_send(lone, Descriptor.send([]))
 
     def test_recv_can_be_posted_while_idle(self, pair):
@@ -262,7 +262,7 @@ class TestConnectionManagement:
     def test_connect_requires_idle(self, pair):
         cluster, ua_s, ua_r, vi_s, vi_r = pair
         extra_s = ua_s.create_vi()
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             cluster.fabric.connect(cluster[0].nic, vi_s.vi_id,
                                    cluster[1].nic, vi_r.vi_id)
         del extra_s
@@ -271,7 +271,7 @@ class TestConnectionManagement:
         cluster, ua_s, ua_r, vi_s, vi_r = pair
         a = ua_s.create_vi(reliability=ReliabilityLevel.UNRELIABLE)
         b = ua_r.create_vi(reliability=ReliabilityLevel.RELIABLE_DELIVERY)
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             cluster.fabric.connect(cluster[0].nic, a.vi_id,
                                    cluster[1].nic, b.vi_id)
 
@@ -283,7 +283,7 @@ class TestConnectionManagement:
 
     def test_destroy_connected_vi_rejected(self, pair):
         cluster, ua_s, ua_r, vi_s, vi_r = pair
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             cluster[0].nic.destroy_vi(vi_s.vi_id)
 
     def test_loopback_connection(self):

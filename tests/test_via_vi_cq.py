@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConnectionError_
+from repro.errors import ViaConnectionError
 from repro.via.constants import ReliabilityLevel, ViState
 from repro.via.cq import Completion, CompletionQueue
 from repro.via.descriptor import Descriptor
@@ -19,7 +19,7 @@ class TestDoorbell:
         """Doorbell protection: the page is mapped into one process
         only — another pid cannot reach it."""
         db = Doorbell(1, "send", owner_pid=42)
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             db.ring(43)
 
 
@@ -33,7 +33,7 @@ class TestVirtualInterface:
 
     def test_require_connected(self):
         vi = VirtualInterface(1, owner_pid=10, prot_tag=0x100)
-        with pytest.raises(ConnectionError_):
+        with pytest.raises(ViaConnectionError):
             vi.require_connected()
         vi.state = ViState.CONNECTED
         vi.require_connected()
