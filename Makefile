@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench tables examples all clean
+.PHONY: install test bench bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -10,10 +10,15 @@ install:
 test:
 	$(PY) -m pytest tests/
 
+# Full benchmark run aggregated into BENCH.json (simulated-ns tables and
+# series plus pytest-benchmark host-time medians).
 bench:
-	$(PY) -m pytest benchmarks/ --benchmark-only
+	$(PY) benchmarks/report.py
 
-# Regenerate every experiment table (E1-E11) with assertions.
+bench-quick:
+	$(PY) benchmarks/report.py --quick
+
+# Regenerate every experiment table (E1-E13) with assertions.
 tables:
 	$(PY) -m pytest benchmarks/ -s
 

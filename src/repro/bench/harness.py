@@ -2,11 +2,30 @@
 
 The benchmarks print the same rows/series the paper's evaluation would:
 a machine-greppable, human-readable fixed-width format.
+
+When the ``REPRO_BENCH_RECORD`` environment variable names a file, every
+table/series rendered (and any explicit :func:`record` call) is also
+appended there as one JSON line — ``benchmarks/report.py`` aggregates
+those lines, together with pytest-benchmark's host-time medians, into
+``BENCH.json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Iterable, Sequence
+
+
+def record(kind: str, title: str, **payload) -> None:
+    """Append one machine-readable benchmark record (JSONL) to the file
+    named by ``REPRO_BENCH_RECORD``; no-op when the variable is unset."""
+    path = os.environ.get("REPRO_BENCH_RECORD")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"kind": kind, "title": title, **payload},
+                            default=str) + "\n")
 
 
 def fmt_ns(ns: float) -> str:
@@ -43,6 +62,7 @@ def print_table(title: str, headers: Sequence[str],
     parts += [line(r) for r in str_rows]
     text = "\n".join(parts)
     print(text, file=out)
+    record("table", title, headers=list(headers), rows=str_rows)
     return text
 
 
@@ -51,6 +71,9 @@ def print_series(title: str, xlabel: str,
                  ylabel: str = "value", out=None) -> str:
     """Render one or more (x, y) series as a merged table keyed on x —
     the textual form of a figure."""
+    record("series", title, xlabel=xlabel, ylabel=ylabel,
+           series={name: [[x, y] for x, y in points]
+                   for name, points in series.items()})
     xs = sorted({x for points in series.values() for x, _ in points})
     by_name = {name: dict(points) for name, points in series.items()}
     headers = [xlabel] + list(series.keys())

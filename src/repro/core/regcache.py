@@ -13,6 +13,13 @@ call; a *miss* registers the aligned range.  ``release`` only drops the
 caller's use; the registration itself stays cached (pinned!) until
 capacity pressure evicts an unused entry, LRU-first.
 
+Lookup is O(1): an interval index keyed by virtual page number maps the
+first page of a request straight to the entries covering it (any
+covering entry must cover the request's first page), and recency is the
+order of an ``OrderedDict`` — a hit is one dict probe plus a
+``move_to_end``, and eviction pops from the cold end, with no linear
+scans on the communication fast path.
+
 Because entries stay registered while cached, the cache **requires** a
 backend that supports multiple registration safely — with mlock_naive or
 pageflags semantics a second user of an overlapping range would be
@@ -21,6 +28,7 @@ silently unprotected.  (That interaction is measured in benchmark E5.)
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -56,6 +64,11 @@ class CacheEntry:
         r = self.registration
         return (r.pid, r.va, r.nbytes)
 
+    def page_span(self) -> tuple[int, int]:
+        """``[first_vpn, last_vpn]`` (inclusive) of the cached range."""
+        r = self.registration
+        return r.va // PAGE_SIZE, (r.va + r.nbytes - 1) // PAGE_SIZE
+
 
 @dataclass
 class CacheStats:
@@ -85,22 +98,49 @@ class RegistrationCache:
         #: how many times a failing registration is retried when there
         #: is nothing left to evict (transient VIP_ERROR_RESOURCE)
         self.max_register_attempts = max_register_attempts
-        self._entries: dict[tuple[int, int, int], CacheEntry] = {}
+        #: entries in LRU order: oldest acquire first (acquire moves an
+        #: entry to the hot end; release does not change recency)
+        self._entries: OrderedDict[tuple[int, int, int], CacheEntry] = \
+            OrderedDict()
+        #: interval index: vpn → entries covering that page, in
+        #: insertion order (so candidate priority matches the old scan)
+        self._page_index: dict[int, list[CacheEntry]] = {}
+        self._pages_total = 0
         self._tick = 0
         self.stats = CacheStats()
 
     # -- internals -----------------------------------------------------------
 
     def _pages_cached(self) -> int:
-        return sum(e.registration.region.npages
-                   for e in self._entries.values())
+        return self._pages_total
+
+    def _index_add(self, entry: CacheEntry) -> None:
+        first, last = entry.page_span()
+        for vpn in range(first, last + 1):
+            self._page_index.setdefault(vpn, []).append(entry)
+        self._pages_total += entry.registration.region.npages
+
+    def _index_remove(self, entry: CacheEntry) -> None:
+        first, last = entry.page_span()
+        for vpn in range(first, last + 1):
+            bucket = self._page_index.get(vpn)
+            if bucket is not None:
+                bucket.remove(entry)
+                if not bucket:
+                    del self._page_index[vpn]
+        self._pages_total -= entry.registration.region.npages
+
+    def _candidates(self, va: int) -> list[CacheEntry]:
+        """Entries that could cover a range starting at ``va`` — exactly
+        those indexed under ``va``'s page."""
+        return self._page_index.get(va // PAGE_SIZE, [])
 
     def _find_covering(self, va: int, nbytes: int,
                        rdma_write: bool, rdma_read: bool
                        ) -> CacheEntry | None:
         """A cached entry whose range covers the request and whose RDMA
         enables are at least as permissive."""
-        for entry in self._entries.values():
+        for entry in self._candidates(va):
             r = entry.registration
             if (r.va <= va and va + nbytes <= r.va + r.nbytes
                     and (not rdma_write or entry.rdma_write)
@@ -109,12 +149,20 @@ class RegistrationCache:
         return None
 
     def _evict_one(self) -> bool:
-        """Evict the least-recently-used unused entry; False if none."""
-        candidates = [e for e in self._entries.values() if e.users == 0]
-        if not candidates:
+        """Evict the least-recently-used unused entry; False if none.
+
+        The OrderedDict runs cold→hot, so the victim is the first
+        unused entry from the cold end — no min-scan over all entries.
+        """
+        victim = None
+        for entry in self._entries.values():
+            if entry.users == 0:
+                victim = entry
+                break
+        if victim is None:
             return False
-        victim = min(candidates, key=lambda e: e.last_use)
         del self._entries[victim.key]
+        self._index_remove(victim)
         self.agent.deregister_memory(victim.registration.handle)
         self.stats.evictions += 1
         return True
@@ -133,6 +181,7 @@ class RegistrationCache:
             entry.users += 1
             entry.hits += 1
             entry.last_use = self._tick
+            self._entries.move_to_end(entry.key)
             self.stats.hits += 1
             return entry.registration
 
@@ -172,11 +221,12 @@ class RegistrationCache:
         entry = CacheEntry(registration=reg, users=1, last_use=self._tick,
                            rdma_write=rdma_write, rdma_read=rdma_read)
         self._entries[entry.key] = entry
+        self._index_add(entry)
         return reg
 
     def release(self, va: int, nbytes: int) -> None:
         """Drop one use of the covering entry (stays cached)."""
-        for entry in self._entries.values():
+        for entry in self._candidates(va):
             r = entry.registration
             if (r.va <= va and va + nbytes <= r.va + r.nbytes
                     and entry.users > 0):
@@ -191,6 +241,7 @@ class RegistrationCache:
             entry = self._entries[key]
             if entry.users == 0:
                 del self._entries[key]
+                self._index_remove(entry)
                 self.agent.deregister_memory(entry.registration.handle)
                 dropped += 1
         return dropped

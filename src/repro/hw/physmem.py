@@ -106,6 +106,66 @@ class PhysicalMemory:
         base = frame * PAGE_SIZE + offset
         self._mem[base:base + len(data)] = data
 
+    # -- iovec access (zero-copy DMA fast path) ------------------------------
+
+    def _check_flat_span(self, addr: int, length: int) -> None:
+        """Validate a flat physical span; unlike :meth:`_check_span` it
+        may cross frame boundaries (physical memory is contiguous from
+        the bus's point of view)."""
+        if length < 0:
+            raise BadPhysicalAddress(f"negative length {length}")
+        if addr < 0 or addr + length > self.size_bytes:
+            raise BadPhysicalAddress(
+                f"span [{addr:#x}, {addr + length:#x}) outside installed "
+                f"memory (0..{self.size_bytes:#x})")
+
+    def view(self, addr: int, length: int) -> memoryview:
+        """A read-only window onto ``[addr, addr+length)`` — no copy."""
+        self._check_flat_span(addr, length)
+        return memoryview(self._mem)[addr:addr + length].toreadonly()
+
+    def read_iovec(self, iovec: list[tuple[int, int]]) -> bytes:
+        """Gather-read ``(addr, length)`` spans into one ``bytes``.
+
+        Spans may cross frame boundaries.  The single-span case (a fully
+        coalesced DMA burst) costs exactly one copy; multi-span gathers
+        assemble through a preallocated buffer with no per-span
+        intermediate ``bytes`` objects.
+        """
+        if len(iovec) == 1:
+            addr, length = iovec[0]
+            self._check_flat_span(addr, length)
+            return bytes(memoryview(self._mem)[addr:addr + length])
+        total = sum(length for _, length in iovec)
+        out = bytearray(total)
+        mv_out = memoryview(out)
+        mv_mem = memoryview(self._mem)
+        pos = 0
+        for addr, length in iovec:
+            self._check_flat_span(addr, length)
+            mv_out[pos:pos + length] = mv_mem[addr:addr + length]
+            pos += length
+        return bytes(out)
+
+    def write_iovec(self, iovec: list[tuple[int, int]], data) -> None:
+        """Scatter-write ``data`` across ``(addr, length)`` spans.
+
+        ``data`` may be any buffer (bytes, bytearray, memoryview); it is
+        consumed through a memoryview, so no per-span slices are
+        materialized.  Span lengths must sum to ``len(data)``.
+        """
+        mv = memoryview(data)
+        total = sum(length for _, length in iovec)
+        if total != len(mv):
+            raise BadPhysicalAddress(
+                f"iovec covers {total} bytes, data is {len(mv)}")
+        mv_mem = memoryview(self._mem)
+        pos = 0
+        for addr, length in iovec:
+            self._check_flat_span(addr, length)
+            mv_mem[addr:addr + length] = mv[pos:pos + length]
+            pos += length
+
     # -- flat addressing (DMA engines think in flat physical bytes) ----------
 
     @staticmethod

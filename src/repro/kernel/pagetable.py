@@ -10,6 +10,7 @@ in the page table and marks the entry not-present".
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -42,6 +43,15 @@ class PageTable:
 
     def __init__(self) -> None:
         self._entries: dict[int, PTE] = {}
+        #: sorted vpn cache — walks are far more frequent than
+        #: insert/remove, so sort once and invalidate on mutation
+        #: instead of re-sorting on every walk
+        self._sorted_vpns: list[int] | None = None
+
+    def _sorted(self) -> list[int]:
+        if self._sorted_vpns is None:
+            self._sorted_vpns = sorted(self._entries)
+        return self._sorted_vpns
 
     def lookup(self, vpn: int) -> PTE | None:
         """The entry for ``vpn``, or None if no entry exists at all."""
@@ -53,6 +63,7 @@ class PageTable:
         if pte is None:
             pte = PTE()
             self._entries[vpn] = pte
+            self._sorted_vpns = None
         return pte
 
     def set_mapping(self, vpn: int, frame: int, writable: bool,
@@ -77,21 +88,26 @@ class PageTable:
 
     def clear(self, vpn: int) -> None:
         """Remove any entry for ``vpn`` (munmap path)."""
-        self._entries.pop(vpn, None)
+        if self._entries.pop(vpn, None) is not None:
+            self._sorted_vpns = None
 
     def present_entries(self) -> Iterator[tuple[int, PTE]]:
         """Iterate ``(vpn, pte)`` over present entries, ascending vpn."""
-        for vpn in sorted(self._entries):
+        for vpn in self._sorted():
             pte = self._entries[vpn]
             if pte.present:
                 yield vpn, pte
 
     def entries_in(self, start_vpn: int, end_vpn: int
                    ) -> Iterator[tuple[int, PTE]]:
-        """Iterate entries with ``start_vpn <= vpn < end_vpn``."""
-        for vpn in sorted(self._entries):
-            if start_vpn <= vpn < end_vpn:
-                yield vpn, self._entries[vpn]
+        """Iterate entries with ``start_vpn <= vpn < end_vpn``
+        (bisected out of the sorted-key cache, not a full scan)."""
+        keys = self._sorted()
+        for i in range(bisect_left(keys, start_vpn), len(keys)):
+            vpn = keys[i]
+            if vpn >= end_vpn:
+                break
+            yield vpn, self._entries[vpn]
 
     def __len__(self) -> int:
         return len(self._entries)

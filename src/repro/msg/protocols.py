@@ -28,7 +28,6 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.errors import ViaError
-from repro.hw.physmem import PAGE_SIZE
 from repro.msg.endpoint import Endpoint
 from repro.via.descriptor import DataSegment, Descriptor
 
@@ -212,15 +211,13 @@ class PioProtocol(Protocol):
             rreg.handle, dst_va, nbytes, rreg.region.prot_tag,
             rdma_write=True)
         # CPU-driven stores: first-word latency plus streaming cost.
+        # The stores land through the translated window as one iovec —
+        # no per-page slicing of the payload.
         payload = sender.task.read(src_va, nbytes)
         clock.charge(costs.pio_word_ns, "pio")
         clock.charge(int(costs.pio_stream_per_byte_ns * nbytes), "pio")
         clock.charge(costs.nic_wire_latency_ns, "wire")
-        pos = 0
-        for addr, length in segs:
-            frame, offset = divmod(addr, PAGE_SIZE)
-            kernel_r.phys.write(frame, offset, payload[pos:pos + length])
-            pos += length
+        kernel_r.phys.write_iovec(segs, payload)
         if not self.use_cache:
             receiver.ua.deregister_mem(rreg)
         else:

@@ -59,6 +59,10 @@ IMMEDIATE_DATA_BYTES = 4
 #: Default TPT capacity, in page entries.
 DEFAULT_TPT_ENTRIES = 8192
 
+#: Default capacity of the NIC's translation cache, in cached spans
+#: (0 disables caching — the legacy per-packet walk).
+DEFAULT_TRANSLATION_CACHE_ENTRIES = 1024
+
 #: Retransmission attempts a RELIABLE VI makes before declaring the
 #: connection lost (the original transmission is not counted).
 MAX_RETRANSMITS = 7

@@ -179,6 +179,26 @@ class Fabric:
         self.packets_sent += 1
         self._charge_wire(src, len(packet.payload))
 
+        # Fast path: a healthy fabric (no fault plan, no legacy loss
+        # rate) delivers without rolling for drops, corruption,
+        # duplication, or ACK loss — the common case of the hot
+        # send/receive loop pays for none of the fault machinery.
+        if plan is None and self.loss_rate == 0.0:
+            if (packet.checksum is not None
+                    and payload_checksum(packet.payload)
+                    != packet.checksum):
+                self.packets_nacked += 1
+                trace.emit("packet_nack", dst=packet.dst_nic,
+                           vi=packet.dst_vi, seq=packet.seq)
+                if reliability == ReliabilityLevel.UNRELIABLE:
+                    self.packets_dropped += 1
+                    return Attempt("dropped")
+                return Attempt("nack")
+            status = self.nic(packet.dst_nic).deliver(packet, reliability)
+            if reliability != ReliabilityLevel.UNRELIABLE:
+                self.acks_sent += 1
+            return Attempt("delivered", status)
+
         if plan is not None:
             extra_ns = plan.delay()
             if extra_ns:

@@ -51,7 +51,8 @@ class VIANic:
                  max_retransmits: int = MAX_RETRANSMITS) -> None:
         self.name = name
         self.kernel = kernel
-        self.tpt = TranslationProtectionTable(tpt_entries)
+        self.tpt = TranslationProtectionTable(
+            tpt_entries, clock=kernel.clock, costs=kernel.costs)
         self.dma = DMAEngine(kernel.phys, kernel.clock, kernel.costs,
                              kernel.trace, name=f"{name}-dma")
         self.vis: dict[int, VirtualInterface] = {}
@@ -119,9 +120,12 @@ class VIANic:
         descriptors with ``VIP_ERROR_CONN_LOST``; peers discover the
         loss on their next transmission (delivery to a reset VI returns
         connection-lost).  Host-side state — registrations and TPT
-        entries — survives, as it does across a real adapter reset.
+        entries — survives, as it does across a real adapter reset, but
+        the volatile translation cache does **not**: it is on-adapter
+        SRAM and is flushed wholesale.
         """
         self.resets += 1
+        self.tpt.invalidate_translations()
         self.kernel.trace.emit("nic_reset", nic=self.name, reason=reason)
         for vi in self.vis.values():
             if vi.state != ViState.IDLE:

@@ -11,18 +11,117 @@ region's RDMA enables.  All later translation happens against these
 recorded frames — the NIC has no way to notice that the kernel moved a
 page.  That asymmetry is the entire failure mode of Section 3.1, so this
 module deliberately performs *no* freshness checks.
+
+Fast path.  Because frames are captured once, translation is a pure
+function of the recorded frames — so the table can (a) merge physically
+adjacent frames into maximal ``(addr, len)`` *extents* at registration
+time and serve spans with one bisect instead of a per-page walk, and
+(b) memoize whole translations in a bounded LRU cache keyed by
+``(handle, va, length)``.  The cache is **invalidated** whenever a
+region is removed (deregistration) or its recorded frames are mutated,
+and can be flushed wholesale on a NIC reset — a cached translation must
+never outlive the registration it was derived from.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import NotRegistered, ProtectionError, ViaError
 from repro.hw.physmem import PAGE_SIZE
-from repro.via.constants import DEFAULT_TPT_ENTRIES
+from repro.via.constants import (
+    DEFAULT_TPT_ENTRIES, DEFAULT_TRANSLATION_CACHE_ENTRIES,
+)
 
 _handles = itertools.count(1)
+
+
+class FrameList(list):
+    """A frame list that versions in-place mutation.
+
+    The extent map and the translation cache are derived from the
+    recorded frames; tests (and the staleness experiments) simulate "the
+    kernel moved a page" by assigning ``region.frames[i]`` directly, so
+    every mutating operation bumps :attr:`version` and derived state is
+    rebuilt on the next translation.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.version = 0
+
+    def _mutated(self) -> None:
+        self.version += 1
+
+    def __setitem__(self, *args):
+        self._mutated()
+        return super().__setitem__(*args)
+
+    def __delitem__(self, *args):
+        self._mutated()
+        return super().__delitem__(*args)
+
+    def __iadd__(self, other):
+        self._mutated()
+        return super().__iadd__(other)
+
+    def append(self, *args):
+        self._mutated()
+        return super().append(*args)
+
+    def extend(self, *args):
+        self._mutated()
+        return super().extend(*args)
+
+    def insert(self, *args):
+        self._mutated()
+        return super().insert(*args)
+
+    def pop(self, *args):
+        self._mutated()
+        return super().pop(*args)
+
+    def remove(self, *args):
+        self._mutated()
+        return super().remove(*args)
+
+    def clear(self):
+        self._mutated()
+        return super().clear()
+
+    def sort(self, *args, **kwargs):
+        self._mutated()
+        return super().sort(*args, **kwargs)
+
+    def reverse(self):
+        self._mutated()
+        return super().reverse()
+
+
+def coalesce_frames(frames: list[int]) -> tuple[list[int], list[tuple[int, int]]]:
+    """Merge per-page frames into maximal physically-contiguous extents.
+
+    Returns ``(starts, extents)`` where ``extents[i]`` is
+    ``(phys_base, nbytes)`` for the run beginning at page-relative byte
+    offset ``starts[i]`` (offsets are relative to the region's
+    page-aligned base; ``starts`` is sorted for bisecting).
+    """
+    starts: list[int] = []
+    extents: list[tuple[int, int]] = []
+    run_start = 0
+    n = len(frames)
+    for i in range(1, n + 1):
+        if i == n or frames[i] != frames[i - 1] + 1:
+            starts.append(run_start * PAGE_SIZE)
+            extents.append((frames[run_start] * PAGE_SIZE,
+                            (i - run_start) * PAGE_SIZE))
+            run_start = i
+    return starts, extents
 
 
 @dataclass
@@ -41,6 +140,8 @@ class MemoryRegion:
     #: opaque cookie the locking backend returned; owned by the Kernel
     #: Agent, carried here so deregistration can find it
     lock_cookie: object = field(default=None, compare=False)
+    #: lazily-built extent map: (starts, extents, frames-version)
+    _extent_map: object = field(default=None, repr=False, compare=False)
 
     @property
     def npages(self) -> int:
@@ -49,6 +150,29 @@ class MemoryRegion:
     @property
     def first_vpn(self) -> int:
         return self.va_base // PAGE_SIZE
+
+    @property
+    def frames_version(self) -> int | None:
+        """Version stamp of the recorded frames (None for plain lists,
+        which are then treated as always-stale)."""
+        return getattr(self.frames, "version", None)
+
+    def extent_map(self) -> tuple[list[int], list[tuple[int, int]]]:
+        """The coalesced extent map, rebuilt when the recorded frames
+        were mutated since the last build."""
+        cached = self._extent_map
+        version = self.frames_version
+        if cached is not None and version is not None \
+                and cached[2] == version:
+            return cached[0], cached[1]
+        starts, extents = coalesce_frames(self.frames)
+        self._extent_map = (starts, extents, version)
+        return starts, extents
+
+    @property
+    def extents(self) -> list[tuple[int, int]]:
+        """Maximal physically-contiguous ``(phys_base, nbytes)`` runs."""
+        return self.extent_map()[1]
 
     def covers(self, va: int, length: int) -> bool:
         """True iff ``[va, va+length)`` lies inside the region."""
@@ -64,12 +188,31 @@ class TranslationProtectionTable:
     regions.  Registration fails with ``VIP_ERROR_RESOURCE`` when full —
     the resource limit that forces MPI layers to deregister and motivates
     the registration cache.
+
+    ``clock``/``costs`` are optional: when provided (the NIC wires its
+    kernel's in), translation charges simulated time per extent, per
+    page, or per cache hit, depending on which path served it.
     """
 
-    def __init__(self, capacity_entries: int = DEFAULT_TPT_ENTRIES) -> None:
+    def __init__(self, capacity_entries: int = DEFAULT_TPT_ENTRIES,
+                 clock=None, costs=None,
+                 translation_cache_entries: int =
+                 DEFAULT_TRANSLATION_CACHE_ENTRIES) -> None:
         self.capacity_entries = capacity_entries
         self.regions: dict[int, MemoryRegion] = {}
         self.entries_used = 0
+        self._clock = clock
+        self._costs = costs
+        #: serve translations from coalesced extents (False restores the
+        #: legacy per-page walk for A/B benchmarking)
+        self.coalesce_extents = True
+        #: bounded LRU of memoized translations; 0 disables
+        self.translation_cache_entries = translation_cache_entries
+        self._xcache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._xcache_by_handle: dict[int, set[tuple]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
 
     # -- registration ----------------------------------------------------------
 
@@ -87,7 +230,7 @@ class TranslationProtectionTable:
                 status="VIP_ERROR_RESOURCE")
         region = MemoryRegion(
             handle=next(_handles), va_base=va_base, nbytes=nbytes,
-            prot_tag=prot_tag, frames=list(frames),
+            prot_tag=prot_tag, frames=FrameList(frames),
             rdma_write_enable=rdma_write, rdma_read_enable=rdma_read,
             lock_cookie=lock_cookie)
         self.regions[region.handle] = region
@@ -95,12 +238,18 @@ class TranslationProtectionTable:
         return region
 
     def remove(self, handle: int) -> MemoryRegion:
-        """Invalidate and drop a region; returns it (for its cookie)."""
+        """Invalidate and drop a region; returns it (for its cookie).
+
+        Any cached translations derived from the region are discarded —
+        a stale translation served after deregistration would be exactly
+        the failure mode the paper's mechanism exists to prevent.
+        """
         region = self.regions.pop(handle, None)
         if region is None:
             raise NotRegistered(f"no region with handle {handle}")
         region.valid = False
         self.entries_used -= region.npages
+        self.invalidate_translations(handle)
         return region
 
     def lookup(self, handle: int) -> MemoryRegion:
@@ -109,6 +258,43 @@ class TranslationProtectionTable:
         if region is None or not region.valid:
             raise NotRegistered(f"no region with handle {handle}")
         return region
+
+    # -- translation cache ---------------------------------------------------
+
+    def invalidate_translations(self, handle: int | None = None) -> int:
+        """Drop cached translations — for one handle, or all of them
+        (``handle=None``, the NIC-reset path).  Returns how many cached
+        spans were discarded."""
+        if handle is None:
+            dropped = len(self._xcache)
+            self._xcache.clear()
+            self._xcache_by_handle.clear()
+        else:
+            keys = self._xcache_by_handle.pop(handle, ())
+            dropped = 0
+            for key in keys:
+                if self._xcache.pop(key, None) is not None:
+                    dropped += 1
+        self.cache_invalidations += dropped
+        return dropped
+
+    def _cache_put(self, key: tuple, segments: list[tuple[int, int]],
+                   version: int | None) -> None:
+        cache = self._xcache
+        limit = self.translation_cache_entries
+        while len(cache) >= limit:
+            old_key, _ = cache.popitem(last=False)
+            owners = self._xcache_by_handle.get(old_key[0])
+            if owners is not None:
+                owners.discard(old_key)
+                if not owners:
+                    del self._xcache_by_handle[old_key[0]]
+        cache[key] = (segments, version)
+        self._xcache_by_handle.setdefault(key[0], set()).add(key)
+
+    def _charge(self, ns: int) -> None:
+        if self._clock is not None and ns:
+            self._clock.charge(ns, "via_nic")
 
     # -- translation --------------------------------------------------------------
 
@@ -128,6 +314,10 @@ class TranslationProtectionTable:
 
         What is *not* checked — because the hardware cannot — is whether
         the recorded frames still back the owner's virtual pages.
+
+        Protection is enforced on **every** call; only the segment list
+        itself is memoized, and a memoized list is served only while the
+        region's recorded frames are unchanged since it was built.
         """
         region = self.lookup(handle)
         if region.prot_tag != prot_tag:
@@ -144,11 +334,66 @@ class TranslationProtectionTable:
             raise NotRegistered(
                 f"span [{va}, {va + length}) outside region "
                 f"[{region.va_base}, {region.va_base + region.nbytes})")
+
+        version = region.frames_version
+        key = (handle, va, length)
+        if self.translation_cache_entries > 0:
+            cached = self._xcache.get(key)
+            if cached is not None and version is not None \
+                    and cached[1] == version:
+                self._xcache.move_to_end(key)
+                self.cache_hits += 1
+                self._charge(self._costs.tpt_cache_hit_ns
+                             if self._costs else 0)
+                return list(cached[0])
+            self.cache_misses += 1
+
+        if self.coalesce_extents:
+            segments = self._translate_extents(region, va, length)
+            if self._costs is not None:
+                self._charge(len(segments)
+                             * self._costs.tpt_translate_extent_ns)
+        else:
+            segments = self._translate_pages(region, va, length)
+            if self._costs is not None:
+                self._charge(len(segments)
+                             * self._costs.tpt_translate_page_ns)
+
+        if self.translation_cache_entries > 0:
+            self._cache_put(key, segments, version)
+        return list(segments)
+
+    @staticmethod
+    def _translate_extents(region: MemoryRegion, va: int, length: int
+                           ) -> list[tuple[int, int]]:
+        """Serve a span from the coalesced extent map: one segment per
+        physically-contiguous run touched, found by bisect."""
+        starts, extents = region.extent_map()
+        rel = va - region.first_vpn * PAGE_SIZE
+        segments: list[tuple[int, int]] = []
+        remaining = length
+        idx = bisect_right(starts, rel) - 1
+        while remaining > 0:
+            ext_start = starts[idx]
+            phys_base, ext_len = extents[idx]
+            offset = rel - ext_start
+            n = min(remaining, ext_len - offset)
+            segments.append((phys_base + offset, n))
+            rel += n
+            remaining -= n
+            idx += 1
+        return segments
+
+    @staticmethod
+    def _translate_pages(region: MemoryRegion, va: int, length: int
+                         ) -> list[tuple[int, int]]:
+        """The legacy page-by-page walk (one segment per page)."""
         segments: list[tuple[int, int]] = []
         remaining = length
         cursor = va
+        aligned_base = region.first_vpn * PAGE_SIZE
         while remaining > 0:
-            page_index = (cursor - region.first_vpn * PAGE_SIZE) // PAGE_SIZE
+            page_index = (cursor - aligned_base) // PAGE_SIZE
             offset = cursor % PAGE_SIZE
             n = min(remaining, PAGE_SIZE - offset)
             frame = region.frames[page_index]
@@ -161,3 +406,8 @@ class TranslationProtectionTable:
     def entries_free(self) -> int:
         """Remaining page-entry capacity."""
         return self.capacity_entries - self.entries_used
+
+    @property
+    def cached_translations(self) -> int:
+        """Number of memoized spans currently held."""
+        return len(self._xcache)

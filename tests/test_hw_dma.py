@@ -85,3 +85,56 @@ class TestDMAEngine:
         dma, _, _, _ = make()
         with pytest.raises(ValueError):
             dma.write_scatter([(0, 2)], b"abc")
+
+
+class TestBurstCoalescing:
+    def test_coalesce_runs_merges_adjacent(self):
+        runs = DMAEngine.coalesce_runs(
+            [(0, 4), (4, 4), (8, 2), (100, 4), (104, 1)])
+        assert runs == [(0, 10), (100, 5)]
+
+    def test_coalesce_runs_skips_empty_segments(self):
+        assert DMAEngine.coalesce_runs([(0, 2), (2, 0), (2, 2)]) \
+            == [(0, 4)]
+
+    def test_gather_equivalence_with_legacy(self):
+        dma, phys, _, _ = make()
+        phys.write(0, PAGE_SIZE - 2, b"ab")
+        phys.write(1, 0, b"cd")
+        segs = [(PAGE_SIZE - 2, 2), (PAGE_SIZE, 2)]
+        fast = dma.read_gather(segs)
+        dma.coalesce = False
+        assert dma.read_gather(segs) == fast == b"abcd"
+
+    def test_scatter_equivalence_with_legacy(self):
+        dma, phys, _, _ = make()
+        segs = [(PAGE_SIZE - 2, 2), (PAGE_SIZE, 2)]
+        dma.write_scatter(segs, b"abcd")
+        fast = phys.read_iovec([(PAGE_SIZE - 2, 4)])
+        dma.coalesce = False
+        dma.write_scatter(segs, b"wxyz")
+        assert fast == b"abcd"
+        assert phys.read_iovec([(PAGE_SIZE - 2, 4)]) == b"wxyz"
+
+    def test_adjacent_segments_are_one_burst(self):
+        dma, phys, _, _ = make()
+        segs = [(0, 4), (4, 4), (8, 4)]
+        dma.read_gather(segs)
+        assert dma.bursts_issued == 1
+        dma.write_scatter([(0, 4), (100, 4)], b"x" * 8)
+        assert dma.bursts_issued == 3     # 1 + 2
+
+    def test_burst_costs_charged(self):
+        dma, _, clock, _ = make()
+        m = CostModel()
+        dma.read_gather([(0, 4), (100, 4)])   # two runs
+        expected = m.dma_setup_ns + m.dma_burst_ns + m.dma_ns(8)
+        assert clock.category_ns("dma") == expected
+
+    def test_legacy_mode_charges_per_segment_setup(self):
+        dma, _, clock, _ = make()
+        dma.coalesce = False
+        m = CostModel()
+        dma.read_gather([(0, 4), (100, 4)])
+        expected = 2 * m.dma_setup_ns + m.dma_ns(4) * 2
+        assert clock.category_ns("dma") == expected

@@ -80,3 +80,51 @@ class TestPhysicalMemory:
     def test_zero_frames_rejected(self):
         with pytest.raises(ValueError):
             PhysicalMemory(0)
+
+
+class TestIovec:
+    def test_view_is_readonly(self):
+        pm = PhysicalMemory(2)
+        pm.write(0, 0, b"abc")
+        v = pm.view(0, 3)
+        assert bytes(v) == b"abc"
+        with pytest.raises(TypeError):
+            v[0] = 0
+
+    def test_read_iovec_single_span_crosses_frames(self):
+        """Unlike `read`, an iovec span may cross frame boundaries —
+        physically-contiguous frames are one flat run of bytes."""
+        pm = PhysicalMemory(2)
+        pm.write(0, PAGE_SIZE - 2, b"ab")
+        pm.write(1, 0, b"cd")
+        assert pm.read_iovec([(PAGE_SIZE - 2, 4)]) == b"abcd"
+
+    def test_read_iovec_gathers_in_order(self):
+        pm = PhysicalMemory(3)
+        pm.write(2, 0, b"XX")
+        pm.write(0, 5, b"YY")
+        assert pm.read_iovec([(2 * PAGE_SIZE, 2), (5, 2)]) == b"XXYY"
+
+    def test_write_iovec_scatters(self):
+        pm = PhysicalMemory(3)
+        pm.write_iovec([(2 * PAGE_SIZE, 2), (5, 2)], b"XXYY")
+        assert pm.read(2, 0, 2) == b"XX"
+        assert pm.read(0, 5, 2) == b"YY"
+
+    def test_write_iovec_span_crosses_frames(self):
+        pm = PhysicalMemory(2)
+        pm.write_iovec([(PAGE_SIZE - 2, 4)], b"abcd")
+        assert pm.read(0, PAGE_SIZE - 2, 2) == b"ab"
+        assert pm.read(1, 0, 2) == b"cd"
+
+    def test_write_iovec_length_mismatch_rejected(self):
+        pm = PhysicalMemory(1)
+        with pytest.raises(BadPhysicalAddress):
+            pm.write_iovec([(0, 3)], b"toolong")
+
+    def test_iovec_out_of_ram_rejected(self):
+        pm = PhysicalMemory(1)
+        with pytest.raises(BadPhysicalAddress):
+            pm.read_iovec([(PAGE_SIZE - 1, 2)])
+        with pytest.raises(BadPhysicalAddress):
+            pm.write_iovec([(PAGE_SIZE - 1, 2)], b"ab")

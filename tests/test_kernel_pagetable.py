@@ -71,3 +71,44 @@ class TestPageTable:
         pt.set_swapped(3, 0)
         assert pt.resident_count() == 2
         assert len(pt) == 3
+
+
+class TestSortedKeyCache:
+    """Walks reuse a sorted-key cache; mutation must invalidate it."""
+
+    def test_insert_after_walk_is_visible(self):
+        pt = PageTable()
+        pt.set_mapping(5, frame=1, writable=True)
+        assert [vpn for vpn, _ in pt.present_entries()] == [5]
+        pt.set_mapping(3, frame=2, writable=True)   # out of order
+        assert [vpn for vpn, _ in pt.present_entries()] == [3, 5]
+
+    def test_clear_after_walk_is_visible(self):
+        pt = PageTable()
+        for vpn in (8, 2, 5):
+            pt.set_mapping(vpn, frame=vpn, writable=False)
+        assert [v for v, _ in pt.entries_in(0, 10)] == [2, 5, 8]
+        pt.clear(5)
+        assert [v for v, _ in pt.entries_in(0, 10)] == [2, 8]
+
+    def test_clear_of_missing_vpn_keeps_cache(self):
+        pt = PageTable()
+        pt.set_mapping(1, frame=1, writable=False)
+        list(pt.present_entries())
+        pt.clear(99)    # no entry — must not corrupt anything
+        assert [v for v, _ in pt.present_entries()] == [1]
+
+    def test_ensure_existing_entry_keeps_cache_valid(self):
+        pt = PageTable()
+        pt.set_mapping(4, frame=1, writable=False)
+        list(pt.present_entries())
+        pt.set_mapping(4, frame=2, writable=True)   # same vpn, re-map
+        assert [v for v, _ in pt.present_entries()] == [4]
+        assert pt.lookup(4).frame == 2
+
+    def test_entries_in_bisects_range(self):
+        pt = PageTable()
+        for vpn in (100, 3, 50, 7):
+            pt.ensure(vpn)
+        assert [v for v, _ in pt.entries_in(5, 60)] == [7, 50]
+        assert list(pt.entries_in(101, 200)) == []

@@ -88,8 +88,15 @@ class TestTPTProperties:
     @settings(max_examples=60)
     def test_translation_covers_exact_bytes_in_order(self, base_vpn,
                                                      npages, data):
+        """Whatever the segmentation (coalesced extents or per-page),
+        every byte of the span must map to the frame recorded for its
+        page, in order."""
         tpt = TranslationProtectionTable()
-        frames = list(range(100, 100 + npages))
+        # Non-contiguous frames with a contiguous run in the middle, so
+        # both coalesced and split extents are exercised.
+        frames = data.draw(st.lists(
+            st.integers(100, 400), min_size=npages, max_size=npages,
+            unique=True))
         va_base = base_vpn * PAGE_SIZE
         region = tpt.install(va_base=va_base, nbytes=npages * PAGE_SIZE,
                              prot_tag=1, frames=frames)
@@ -98,14 +105,34 @@ class TestTPTProperties:
         segs = tpt.translate(region.handle, va_base + offset, length, 1)
         # Property 1: lengths sum exactly.
         assert sum(n for _, n in segs) == length
-        # Property 2: each segment stays in one frame, frames in order.
+        # Property 2: flattened byte-for-byte, each byte lands in the
+        # frame recorded for its page at the right offset.
         expect = offset
         for addr, n in segs:
-            frame, off = divmod(addr, PAGE_SIZE)
-            assert frame == frames[expect // PAGE_SIZE]
-            assert off == expect % PAGE_SIZE
-            assert off + n <= PAGE_SIZE
+            # check the mapping at every page boundary inside the segment
+            pos = 0
+            while pos < n:
+                off = expect + pos
+                assert addr + pos == frames[off // PAGE_SIZE] * PAGE_SIZE \
+                    + off % PAGE_SIZE
+                pos += PAGE_SIZE - (off % PAGE_SIZE)
             expect += n
+        # Property 3: the legacy per-page walk agrees once adjacent
+        # segments are merged.
+        tpt.coalesce_extents = False
+        tpt.translation_cache_entries = 0
+        legacy = tpt.translate(region.handle, va_base + offset, length, 1)
+
+        def merged(segments):
+            spans = []
+            for a, ln in segments:
+                if spans and spans[-1][0] + spans[-1][1] == a:
+                    spans[-1][1] += ln
+                else:
+                    spans.append([a, ln])
+            return [tuple(s) for s in spans]
+
+        assert merged(segs) == merged(legacy)
 
     @given(st.integers(1, 8), st.integers(1, 8))
     def test_entry_accounting_balances(self, n_a, n_b):

@@ -317,3 +317,43 @@ class TestPacketLoss:
         assert cluster.fabric.packets_dropped == 1
         with pytest.raises(QueueEmpty):
             ua_r.recv_done(vi_r)
+
+
+class TestTranslationCacheLifecycle:
+    """The NIC's translation cache must be provably invalidated on
+    deregistration and flushed wholesale on a NIC reset — a stale
+    cached translation is exactly the DMA-to-freed-frame failure the
+    paper's locking mechanism exists to prevent."""
+
+    def warm(self, pair, payloads=2):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        for _ in range(payloads):
+            post_recv_buffer(ua_r, vi_r)
+        sva = ua_s.task.mmap(1)
+        sreg = ua_s.register_mem(sva, PAGE_SIZE)
+        for _ in range(payloads):
+            assert ua_s.send_bytes(vi_s, sreg, b"warm").status \
+                == VIP_SUCCESS
+        return sreg
+
+    def test_deregister_drops_cached_translations(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        sreg = self.warm(pair)
+        tpt = ua_s.nic.tpt
+        assert tpt.cached_translations > 0
+        before = tpt.cached_translations
+        ua_s.deregister_mem(sreg)
+        assert tpt.cache_invalidations >= 1
+        assert tpt.cached_translations < before
+        # nothing cached refers to the dead handle any more
+        assert all(key[0] != sreg.handle for key in tpt._xcache)
+
+    def test_nic_reset_flushes_translation_cache(self, pair):
+        cluster, ua_s, ua_r, vi_s, vi_r = pair
+        self.warm(pair)
+        tpt = ua_s.nic.tpt
+        assert tpt.cached_translations > 0
+        ua_s.nic.reset()
+        assert tpt.cached_translations == 0
+        # registrations themselves survive the reset (host-side state)
+        assert tpt.entries_used > 0

@@ -61,13 +61,31 @@ class TestTranslation:
         segs = tpt.translate(region.handle, 0x10000 + 100, 50, TAG_A)
         assert segs == [(10 * PAGE_SIZE + 100, 50)]
 
-    def test_multi_page_spans(self):
+    def test_multi_page_spans_coalesced(self):
+        """Adjacent frames merge into one extent on the fast path."""
         tpt = TranslationProtectionTable()
+        region = install(tpt, va=0x10000, npages=4)
+        va = 0x10000 + PAGE_SIZE - 10
+        segs = tpt.translate(region.handle, va, 20, TAG_A)
+        assert segs == [(10 * PAGE_SIZE + PAGE_SIZE - 10, 20)]
+
+    def test_multi_page_spans_legacy_walk(self):
+        """The per-page walk splits the same span at page boundaries."""
+        tpt = TranslationProtectionTable()
+        tpt.coalesce_extents = False
         region = install(tpt, va=0x10000, npages=4)
         va = 0x10000 + PAGE_SIZE - 10
         segs = tpt.translate(region.handle, va, 20, TAG_A)
         assert segs == [(10 * PAGE_SIZE + PAGE_SIZE - 10, 10),
                         (11 * PAGE_SIZE, 10)]
+
+    def test_discontiguous_frames_split_extents(self):
+        tpt = TranslationProtectionTable()
+        region = tpt.install(va_base=0x10000, nbytes=3 * PAGE_SIZE,
+                             prot_tag=TAG_A, frames=[10, 11, 20])
+        segs = tpt.translate(region.handle, 0x10000, 3 * PAGE_SIZE, TAG_A)
+        assert segs == [(10 * PAGE_SIZE, 2 * PAGE_SIZE),
+                        (20 * PAGE_SIZE, PAGE_SIZE)]
 
     def test_translation_uses_recorded_frames(self):
         """The staleness mechanism: translation uses registration-time
@@ -113,3 +131,124 @@ class TestTranslation:
                              frames=[7])
         segs = tpt.translate(region.handle, va + 10, 100, TAG_A)
         assert segs == [(7 * PAGE_SIZE + 110, 100)]
+
+    def test_unaligned_base_multi_page(self):
+        """Regression: a multi-page region whose base is not
+        page-aligned must index frames relative to the region's
+        *aligned* base (``va // PAGE_SIZE``), not its raw ``va_base`` —
+        the two paths (extent and per-page) must agree byte-for-byte."""
+        tpt = TranslationProtectionTable(translation_cache_entries=0)
+        va = 0x10000 + 100
+        # 2 * PAGE_SIZE bytes starting 100 bytes into a page touch three
+        # pages; deliberately non-adjacent frames so nothing coalesces.
+        region = tpt.install(va_base=va, nbytes=2 * PAGE_SIZE,
+                             prot_tag=TAG_A, frames=[7, 9, 13])
+        fast = tpt.translate(region.handle, va, 2 * PAGE_SIZE, TAG_A)
+        assert fast == [(7 * PAGE_SIZE + 100, PAGE_SIZE - 100),
+                        (9 * PAGE_SIZE, PAGE_SIZE),
+                        (13 * PAGE_SIZE, 100)]
+        tpt.coalesce_extents = False
+        legacy = tpt.translate(region.handle, va, 2 * PAGE_SIZE, TAG_A)
+        assert legacy == fast
+        # A sub-span starting mid-way through the second page.
+        tpt.coalesce_extents = True
+        off = PAGE_SIZE - 100 + 50        # 50 bytes into page 1
+        fast = tpt.translate(region.handle, va + off, PAGE_SIZE, TAG_A)
+        tpt.coalesce_extents = False
+        legacy = tpt.translate(region.handle, va + off, PAGE_SIZE, TAG_A)
+        assert legacy == fast == [(9 * PAGE_SIZE + 50, PAGE_SIZE - 50),
+                                  (13 * PAGE_SIZE, 50)]
+
+
+class TestTranslationCache:
+    def test_repeat_translation_is_a_hit(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt)
+        first = tpt.translate(region.handle, 0x10000, 100, TAG_A)
+        assert (tpt.cache_misses, tpt.cache_hits) == (1, 0)
+        second = tpt.translate(region.handle, 0x10000, 100, TAG_A)
+        assert second == first
+        assert (tpt.cache_misses, tpt.cache_hits) == (1, 1)
+        assert tpt.cached_translations == 1
+
+    def test_cached_result_is_a_copy(self):
+        tpt = TranslationProtectionTable()
+        region = install(tpt)
+        first = tpt.translate(region.handle, 0x10000, 100, TAG_A)
+        first.append(("garbage", 0))
+        second = tpt.translate(region.handle, 0x10000, 100, TAG_A)
+        assert second == [(10 * PAGE_SIZE, 100)]
+
+    def test_deregister_invalidates_cached_translations(self):
+        """A cached translation must never outlive its registration."""
+        tpt = TranslationProtectionTable()
+        a = install(tpt)
+        b = install(tpt, va=0x90000)
+        tpt.translate(a.handle, 0x10000, 64, TAG_A)
+        tpt.translate(b.handle, 0x90000, 64, TAG_A)
+        assert tpt.cached_translations == 2
+        tpt.remove(a.handle)
+        # a's span is gone; b's survives.
+        assert tpt.cached_translations == 1
+        assert tpt.cache_invalidations == 1
+        with pytest.raises(NotRegistered):
+            tpt.translate(a.handle, 0x10000, 64, TAG_A)
+        tpt.translate(b.handle, 0x90000, 64, TAG_A)
+        assert tpt.cache_hits == 1
+
+    def test_frames_mutation_invalidates(self):
+        """Mutating the recorded frames makes every cached span derived
+        from them stale — the next translation recomputes."""
+        tpt = TranslationProtectionTable()
+        region = install(tpt)
+        tpt.translate(region.handle, 0x10000, 8, TAG_A)
+        region.frames[0] = 99      # "kernel moved the page"
+        segs = tpt.translate(region.handle, 0x10000, 8, TAG_A)
+        assert segs == [(99 * PAGE_SIZE, 8)]
+        assert tpt.cache_hits == 0
+        assert tpt.cache_misses == 2
+
+    def test_full_flush_on_nic_reset_path(self):
+        tpt = TranslationProtectionTable()
+        a = install(tpt)
+        b = install(tpt, va=0x90000)
+        tpt.translate(a.handle, 0x10000, 64, TAG_A)
+        tpt.translate(b.handle, 0x90000, 64, TAG_A)
+        assert tpt.invalidate_translations() == 2
+        assert tpt.cached_translations == 0
+        # next translations are misses, not stale hits
+        tpt.translate(a.handle, 0x10000, 64, TAG_A)
+        assert tpt.cache_hits == 0
+
+    def test_cache_is_bounded_lru(self):
+        tpt = TranslationProtectionTable(translation_cache_entries=2)
+        region = install(tpt)
+        for off in (0, 8, 16):
+            tpt.translate(region.handle, 0x10000 + off, 4, TAG_A)
+        assert tpt.cached_translations == 2
+        # offset 0 (coldest) was evicted; 8 and 16 still hit.
+        tpt.translate(region.handle, 0x10000 + 8, 4, TAG_A)
+        tpt.translate(region.handle, 0x10000 + 16, 4, TAG_A)
+        assert tpt.cache_hits == 2
+        tpt.translate(region.handle, 0x10000, 4, TAG_A)
+        assert tpt.cache_misses == 4
+
+    def test_cache_disabled_by_zero_entries(self):
+        tpt = TranslationProtectionTable(translation_cache_entries=0)
+        region = install(tpt)
+        tpt.translate(region.handle, 0x10000, 4, TAG_A)
+        tpt.translate(region.handle, 0x10000, 4, TAG_A)
+        assert tpt.cached_translations == 0
+        assert (tpt.cache_hits, tpt.cache_misses) == (0, 0)
+
+    def test_protection_checked_even_on_cached_span(self):
+        """Memoization covers only the segment list — the protection
+        checks run on every call."""
+        tpt = TranslationProtectionTable()
+        region = install(tpt, tag=TAG_A)
+        tpt.translate(region.handle, 0x10000, 4, TAG_A)
+        with pytest.raises(ProtectionError):
+            tpt.translate(region.handle, 0x10000, 4, TAG_B)
+        with pytest.raises(ProtectionError):
+            tpt.translate(region.handle, 0x10000, 4, TAG_A,
+                          rdma_write=True)
