@@ -11,10 +11,10 @@ the kernel's own accounting invariants.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import PageAccountingError
+from repro.errors import InvariantViolation, PageAccountingError
 from repro.hw.physmem import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,8 +68,8 @@ class LeakedPin:
     expected: int
 
 
-def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent"
-                    ) -> list[LeakedPin]:
+def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent",
+                    count_kiobufs: bool = False) -> list[LeakedPin]:
     """Find frames whose pin count exceeds what live registrations
     explain — the leak signature of an error path that dropped a
     registration record without releasing its pin.
@@ -82,12 +82,22 @@ def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent"
     buffers, every remaining pin must be explained by a registration
     still recorded in some agent.  Backends that do not pin
     (refcount-only) vacuously pass.
+
+    ``count_kiobufs=True`` additionally accepts pins held by live
+    (mapped) kiobufs — required when sampling at arbitrary points (the
+    invariant watchdog's cadence), where a registration may legimately
+    be halfway built: pinned by its kiobuf but not yet recorded.
     """
     expected: Counter[int] = Counter()
     for agent in agents:
         for reg in agent.registrations.values():
             for frame in reg.region.frames:
                 expected[frame] += 1
+    if count_kiobufs:
+        for kio in kernel.kiobufs.values():
+            if kio.mapped:
+                for frame in kio.frames:
+                    expected[frame] += 1
     leaks: list[LeakedPin] = []
     for pd in kernel.pagemap:
         if pd.pin_count > expected.get(pd.frame, 0):
@@ -140,6 +150,141 @@ def audit_kernel_invariants(kernel: "Kernel") -> None:
         if pd.pin_count < 0 or pd.count < 0:
             raise PageAccountingError(
                 f"frame {pd.frame} has negative counters")
+
+
+class InvariantWatchdog:
+    """``core.audit`` as a continuously-running checker.
+
+    Armed on a :class:`~repro.via.machine.Machine` or
+    :class:`~repro.via.machine.Cluster` (or a raw ``(kernel, agents)``
+    pair), the watchdog samples all three audits on a sim-clock cadence
+    — periodic work piggybacks on the clock, like the reaper — and at
+    every task-teardown boundary.  A failed audit raises
+    :class:`~repro.errors.InvariantViolation` carrying a structured
+    snapshot, so the violation surfaces at the operation that caused it
+    instead of at the end of the run.
+    """
+
+    def __init__(self, *, interval_ns: int = 1_000_000,
+                 check_kernel: bool = True,
+                 check_tpt: bool = True,
+                 check_pins: bool = True) -> None:
+        self.interval_ns = interval_ns
+        self.check_kernel = check_kernel
+        self.check_tpt = check_tpt
+        self.check_pins = check_pins
+        self.checks_run = 0
+        self.violations = 0
+        self.armed = False
+        self._pairs: list[tuple] = []     #: (kernel, [agents])
+        self._next_due_ns = 0
+        self._in_check = False
+        self._teardowns: list[tuple] = []  #: (hook_list, hook) to undo
+        self._unsubscribes: list[Callable[[], None]] = []
+
+    # --------------------------------------------------------------- arming
+
+    def arm(self, target) -> "InvariantWatchdog":
+        """Arm on a Machine, a Cluster, or a ``(kernel, agents)`` pair."""
+        from repro.via.machine import Cluster, Machine
+        if isinstance(target, Cluster):
+            pairs = [(m.kernel, [m.agent]) for m in target.machines]
+        elif isinstance(target, Machine):
+            pairs = [(target.kernel, [target.agent])]
+        else:
+            kernel, agents = target
+            pairs = [(kernel, list(agents))]
+        self._pairs.extend(pairs)
+        clocks = {id(k.clock): k.clock for k, _ in pairs}
+        for clock in clocks.values():
+            # First cadence sample is one interval out, not immediately.
+            self._next_due_ns = max(self._next_due_ns,
+                                    clock.now_ns + self.interval_ns)
+            self._unsubscribes.append(clock.subscribe(self._on_tick))
+        for kernel, _ in pairs:
+            hook = self._make_teardown_hook()
+            kernel.post_exit_hooks.append(hook)
+            self._teardowns.append((kernel.post_exit_hooks, hook))
+        self.armed = True
+        return self
+
+    def disarm(self) -> None:
+        """Stop all sampling."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        for hook_list, hook in self._teardowns:
+            if hook in hook_list:
+                hook_list.remove(hook)
+        self._teardowns.clear()
+        self.armed = False
+
+    def _make_teardown_hook(self):
+        def on_teardown(task) -> None:
+            self.check(boundary=f"teardown pid {task.pid}")
+        return on_teardown
+
+    def _on_tick(self, now_ns: int) -> None:
+        if not self.armed or now_ns < self._next_due_ns:
+            return
+        self._next_due_ns = now_ns + self.interval_ns
+        self.check(boundary="cadence")
+
+    # -------------------------------------------------------------- checking
+
+    def check(self, boundary: str = "manual") -> None:
+        """Run every enabled audit over every armed pair now."""
+        if self._in_check:
+            return
+        self._in_check = True
+        try:
+            for kernel, agents in self._pairs:
+                self._check_one(kernel, agents, boundary)
+        finally:
+            self._in_check = False
+
+    def _check_one(self, kernel, agents, boundary: str) -> None:
+        self.checks_run += 1
+        if self.check_kernel:
+            try:
+                audit_kernel_invariants(kernel)
+            except PageAccountingError as exc:
+                raise self._violation(
+                    "kernel", kernel, boundary, str(exc)) from exc
+        for agent in agents:
+            if self.check_tpt:
+                stale = audit_tpt_consistency(agent)
+                if stale:
+                    raise self._violation(
+                        "stale_tpt", kernel, boundary,
+                        f"{len(stale)} stale TPT entries",
+                        stale=[asdict(s) for s in stale])
+        if self.check_pins:
+            # count_kiobufs: a cadence sample can land mid-registration,
+            # where the pin exists but the record does not yet.
+            leaks = audit_pin_leaks(kernel, *agents, count_kiobufs=True)
+            if leaks:
+                raise self._violation(
+                    "pin_leak", kernel, boundary,
+                    f"{len(leaks)} leaked pins",
+                    leaks=[asdict(leak) for leak in leaks])
+
+    def _violation(self, kind: str, kernel, boundary: str,
+                   detail: str, **extra) -> InvariantViolation:
+        self.violations += 1
+        snapshot = {
+            "kind": kind,
+            "boundary": boundary,
+            "now_ns": kernel.clock.now_ns,
+            "checks_run": self.checks_run,
+            "memory": kernel.memory_stats(),
+            **extra,
+        }
+        kernel.trace.emit("invariant_violation", violation=kind,
+                          boundary=boundary, detail=detail)
+        return InvariantViolation(
+            f"invariant violation ({kind}) at {boundary}: {detail}",
+            kind=kind, snapshot=snapshot)
 
 
 def frame_ownership_summary(kernel: "Kernel") -> dict[str, int]:

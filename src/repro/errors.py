@@ -87,6 +87,37 @@ class KiobufError(KernelError):
     range, ...)."""
 
 
+class ProcessKilled(KernelError):
+    """A task was killed at a fault-injection crash point.
+
+    Raised *after* the kernel has torn the task down, so the code that
+    was running on the victim's behalf unwinds the way a fatal signal
+    unwinds a real syscall: the operation never completes, and any state
+    it had built is already reclaimed (or deliberately leaked, when the
+    crash models a buggy teardown)."""
+
+    def __init__(self, message: str, pid: int | None = None,
+                 point: str | None = None):
+        super().__init__(message)
+        self.pid = pid
+        self.point = point
+
+
+class InvariantViolation(KernelError):
+    """The invariant watchdog caught a broken system invariant.
+
+    ``kind`` names which audit tripped (``"kernel"``, ``"stale_tpt"``,
+    ``"pin_leak"``) and ``snapshot`` is a structured dump of what the
+    watchdog saw, so a chaos run that dies here can be diagnosed from
+    the exception alone."""
+
+    def __init__(self, message: str, kind: str = "invariant",
+                 snapshot: dict | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.snapshot = snapshot if snapshot is not None else {}
+
+
 # ---------------------------------------------------------------------------
 # VIA layer
 # ---------------------------------------------------------------------------

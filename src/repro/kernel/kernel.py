@@ -70,6 +70,17 @@ class Kernel:
         self._clock_hand = 0                    # shrink_mmap clock position
         self._swap_cnt: dict[int, int] = {}     # swap_out victim counters
         self._task_swap_hand: dict[int, int] = {}
+        #: drivers register here to reclaim per-task state on exit; each
+        #: hook is called with the dying task while it is still findable
+        self.exit_hooks: list = []
+        #: called after a task is fully torn down (watchdog boundary)
+        self.post_exit_hooks: list = []
+        #: drivers register here to learn of munmaps before the PTEs and
+        #: frames go away; called with (task, start_vpn, end_vpn)
+        self.munmap_hooks: list = []
+        #: the orphan reaper, once attached (see repro.kernel.reaper);
+        #: try_to_free_pages drafts it when ordinary reclaim falls short
+        self.reaper = None
 
     # ------------------------------------------------------------------ tasks
 
@@ -129,12 +140,54 @@ class Kernel:
         return child
 
     def exit_task(self, task: Task) -> None:
-        """Tear a task down: unmap everything, free frames and swap."""
+        """Tear a task down cleanly: run driver exit hooks (VIs torn
+        down, registrations dropped, pins released), unmap everything,
+        free frames and swap."""
+        self.trace.emit("task_exit", pid=task.pid, name=task.name)
+        self._teardown_task(task, run_hooks=True)
+
+    def kill(self, pid: int, *, cleanup: bool = True) -> Task:
+        """Kill a task by pid (fatal signal / crash).
+
+        With ``cleanup=True`` this is ``exit_task``: the exit path walks
+        the driver hooks so no pinned frame or TPT entry outlives the
+        process.  ``cleanup=False`` models a *buggy* teardown — the
+        address space is still freed (the core kernel always does that)
+        but drivers are never notified, leaking whatever they held; the
+        orphan reaper exists to converge that state.  Returns the dead
+        task so callers can inspect its (now unmapped) identity.
+        """
+        task = self.find_task(pid)
+        self.trace.emit("task_kill", pid=pid, name=task.name,
+                        cleanup=cleanup)
+        self._teardown_task(task, run_hooks=cleanup)
+        return task
+
+    def _teardown_task(self, task: Task, run_hooks: bool) -> None:
+        if run_hooks:
+            # Driver hooks run first, while the task is still findable:
+            # locking backends that need the victim's page tables (the
+            # mlock family) must unlock before the address space goes.
+            for hook in list(self.exit_hooks):
+                hook(task)
+            # Kiobufs the hooks did not release (a crash mid-registration
+            # pins pages before any registration record exists).
+            for kio in [k for k in self.kiobufs.values()
+                        if k.pid == task.pid and k.mapped]:
+                unmap_kiobuf(self, kio)
         for area in list(task.vmas):
-            self.sys_munmap(task, area.start_vpn * PAGE_SIZE, area.npages)
+            # During a clean exit the hooks already dropped every
+            # registration, so re-notifying munmap hooks is pointless;
+            # during a buggy teardown (run_hooks=False) skipping them is
+            # the bug being modelled.
+            self.sys_munmap(task, area.start_vpn * PAGE_SIZE, area.npages,
+                            notify=False)
+        task.alive = False
         self.tasks.remove(task)
         self._swap_cnt.pop(task.pid, None)
         self._task_swap_hand.pop(task.pid, None)
+        for hook in list(self.post_exit_hooks):
+            hook(task)
 
     # ------------------------------------------------------- frame allocation
 
@@ -180,14 +233,24 @@ class Kernel:
                                 name=name or "anon"))
         return start_vpn * PAGE_SIZE
 
-    def sys_munmap(self, task: Task, va: int, npages: int) -> None:
+    def sys_munmap(self, task: Task, va: int, npages: int, *,
+                   notify: bool = True) -> None:
         """Unmap ``npages`` at ``va``: drop VMAs, PTEs, frames, swap
-        slots."""
+        slots.
+
+        Munmap hooks (drivers force-deregistering overlapping
+        registrations) run *before* anything is dropped, so pins are
+        released while the frames still exist; ``notify=False`` is the
+        exit path's internal opt-out.
+        """
         self.clock.charge(self.costs.syscall_ns, "syscall")
         if va % PAGE_SIZE:
             raise InvalidArgument("munmap address must be page-aligned")
         start_vpn = va // PAGE_SIZE
         end_vpn = start_vpn + npages
+        if notify:
+            for hook in list(self.munmap_hooks):
+                hook(task, start_vpn, end_vpn)
         task.vmas.remove_range(start_vpn, end_vpn)
         for vpn in range(start_vpn, end_vpn):
             pte = task.page_table.lookup(vpn)

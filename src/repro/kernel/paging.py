@@ -54,6 +54,12 @@ def try_to_free_pages(kernel: "Kernel", target: int) -> int:
         if freed >= target:
             break
         freed += swap_out(kernel, target - freed)
+    if (freed < target and kernel.reaper is not None
+            and not kernel.reaper._in_scan):
+        # Ordinary reclaim fell short: draft the orphan reaper, whose
+        # dead-owner reclamation can free pages pinned by nothing live.
+        report = kernel.reaper.scan()
+        freed += report.frames_freed
     kernel.trace.emit("reclaim_done", target=target, freed=freed)
     return freed
 

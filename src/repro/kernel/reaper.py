@@ -1,0 +1,364 @@
+"""The orphan reaper: a periodic kernel daemon converging leaked state.
+
+A clean process exit reclaims everything through the driver exit hooks
+— but teardown can be buggy (``Kernel.kill(pid, cleanup=False)``), a
+crash can land between a pin and its registration record, and a backend
+can transiently fail to unlock.  The reaper is the backstop: like
+``paging.try_to_free_pages`` it runs periodically (here: on a sim-clock
+cadence, or drafted directly by ``try_to_free_pages`` when ordinary
+reclaim falls short) and scans for
+
+* registrations whose owning pid is dead (stale TPT entries included),
+* kiobufs pinning pages for a dead pid with no backing registration,
+* VIs owned by a dead pid (peers complete ``VIP_ERROR_CONN_LOST``),
+* descriptors older than a configurable deadline,
+* orphan frames (swap_out's unmapped-but-referenced leftovers) that no
+  live registration explains,
+* pinned frames no live registration or kiobuf explains.
+
+Every reclaim attempt is retried with exponential backoff; after
+``max_attempts`` failures the reaper escalates to force-dropping the
+record (:meth:`~repro.via.kernel_agent.KernelAgent.forget_registration`)
+so even a permanently failing backend converges to a clean TPT.  Each
+scan produces a :class:`ReaperReport` of what it found and freed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.via.kernel_agent import KernelAgent
+
+
+@dataclass
+class ReaperReport:
+    """What one reaper scan found and reclaimed."""
+
+    scan_index: int = 0
+    now_ns: int = 0
+    registrations_reclaimed: int = 0
+    registrations_forced: int = 0        #: forget_registration escalations
+    kiobufs_reclaimed: int = 0
+    vis_reclaimed: int = 0
+    descriptors_flushed: int = 0         #: past the descriptor deadline
+    orphan_frames_freed: int = 0
+    pins_force_released: int = 0
+    frames_freed: int = 0                #: net frames returned to the free list
+    failures: int = 0                    #: reclaim attempts that raised
+    deferred: int = 0                    #: items still in their backoff window
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def reclaimed_total(self) -> int:
+        return (self.registrations_reclaimed + self.registrations_forced
+                + self.kiobufs_reclaimed + self.vis_reclaimed
+                + self.descriptors_flushed + self.orphan_frames_freed
+                + self.pins_force_released)
+
+
+@dataclass
+class _Backoff:
+    """Per-item retry state."""
+
+    attempts: int = 0
+    next_due_ns: int = 0
+
+
+class OrphanReaper:
+    """Periodic scanner reclaiming state leaked past a process's death."""
+
+    def __init__(self, kernel: "Kernel",
+                 agents: "list[KernelAgent] | tuple[KernelAgent, ...]" = (),
+                 *,
+                 interval_ns: int = 1_000_000,
+                 descriptor_deadline_ns: int | None = None,
+                 max_attempts: int = 3,
+                 backoff_base_ns: int = 10_000) -> None:
+        self.kernel = kernel
+        self.agents = list(agents)
+        self.interval_ns = interval_ns
+        #: flush descriptors posted longer ago than this (None = never)
+        self.descriptor_deadline_ns = descriptor_deadline_ns
+        self.max_attempts = max_attempts
+        self.backoff_base_ns = backoff_base_ns
+        self.scans = 0
+        self.last_report: ReaperReport | None = None
+        self._backoff: dict[tuple, _Backoff] = {}
+        self._next_due_ns = 0
+        self._in_scan = False
+        self._unsubscribe: Callable[[], None] | None = None
+        # try_to_free_pages drafts the attached reaper directly.
+        kernel.reaper = self
+
+    # ------------------------------------------------------------- scheduling
+
+    def start(self) -> "OrphanReaper":
+        """Run as a daemon: scan every ``interval_ns`` of simulated time
+        (piggybacking on the clock, as all periodic work here does)."""
+        if self._unsubscribe is None:
+            self._unsubscribe = self.kernel.clock.subscribe(self._on_tick)
+        return self
+
+    def stop(self) -> None:
+        """Stop the periodic scans (manual ``scan()`` still works)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def _on_tick(self, now_ns: int) -> None:
+        self.run_if_due()
+
+    def run_if_due(self) -> ReaperReport | None:
+        """Scan iff the cadence interval has elapsed since the last scan."""
+        if self._in_scan or self.kernel.clock.now_ns < self._next_due_ns:
+            return None
+        return self.scan()
+
+    # ------------------------------------------------------------------ scan
+
+    def scan(self) -> ReaperReport:
+        """One full reaper pass; returns what it found and reclaimed."""
+        kernel = self.kernel
+        report = ReaperReport(scan_index=self.scans,
+                              now_ns=kernel.clock.now_ns)
+        self.scans += 1
+        self._in_scan = True
+        free_before = kernel.pagemap.free_count
+        try:
+            self._reap_dead_registrations(report)
+            self._reap_dead_kiobufs(report)
+            self._reap_dead_vis(report)
+            self._reap_stale_descriptors(report)
+            self._reap_orphan_frames(report)
+            self._reap_unexplained_pins(report)
+        finally:
+            self._in_scan = False
+        kernel.clock.charge(kernel.costs.syscall_ns, "reaper")
+        self._next_due_ns = kernel.clock.now_ns + self.interval_ns
+        report.frames_freed = max(
+            0, kernel.pagemap.free_count - free_before)
+        self.last_report = report
+        if report.reclaimed_total or report.failures:
+            kernel.trace.emit("reaper_scan", scan=report.scan_index,
+                              reclaimed=report.reclaimed_total,
+                              frames_freed=report.frames_freed,
+                              failures=report.failures,
+                              deferred=report.deferred)
+        return report
+
+    # -------------------------------------------------------------- helpers
+
+    def _alive(self, pid: int) -> bool:
+        return any(t.pid == pid for t in self.kernel.tasks)
+
+    def _attempt(self, key: tuple, action: Callable[[], None],
+                 report: ReaperReport) -> bool:
+        """Run one reclaim action under retry accounting.
+
+        Failures are recorded with exponential backoff
+        (``base * 2**(attempts-1)``); while an item is inside its backoff
+        window it is deferred, not retried.  Returns True iff the action
+        succeeded (clearing any backoff state for the item).
+        """
+        state = self._backoff.get(key)
+        now = self.kernel.clock.now_ns
+        if state is not None and now < state.next_due_ns:
+            report.deferred += 1
+            return False
+        try:
+            action()
+        except ReproError as exc:
+            if state is None:
+                state = self._backoff[key] = _Backoff()
+            state.attempts += 1
+            delay = self.backoff_base_ns * (2 ** (state.attempts - 1))
+            state.next_due_ns = now + delay
+            report.failures += 1
+            report.notes.append(f"{key}: {exc}")
+            self.kernel.trace.emit("reaper_retry", item=str(key),
+                                   attempts=state.attempts,
+                                   backoff_ns=delay, error=str(exc))
+            return False
+        self._backoff.pop(key, None)
+        return True
+
+    def _attempts_of(self, key: tuple) -> int:
+        state = self._backoff.get(key)
+        return state.attempts if state is not None else 0
+
+    # ---------------------------------------------------------- scan phases
+
+    def _reap_dead_registrations(self, report: ReaperReport) -> None:
+        """TPT entries whose owning pid is dead."""
+        for agent in self.agents:
+            for reg in list(agent.registrations.values()):
+                if self._alive(reg.pid):
+                    continue
+                key = ("reg", id(agent), reg.handle)
+                if self._attempts_of(key) >= self.max_attempts:
+                    # The backend keeps failing: force the stale TPT
+                    # entry out and let the pin scans mop up.
+                    agent.forget_registration(reg.handle)
+                    self._backoff.pop(key, None)
+                    report.registrations_forced += 1
+                    report.notes.append(
+                        f"forced handle {reg.handle} of dead pid "
+                        f"{reg.pid} after {self.max_attempts} attempts")
+                    continue
+                handle = reg.handle
+                if self._attempt(key,
+                                 lambda a=agent, h=handle:
+                                 a.reclaim_registration(h),
+                                 report):
+                    report.registrations_reclaimed += 1
+
+    def _reap_dead_kiobufs(self, report: ReaperReport) -> None:
+        """Kiobufs pinning pages for a dead pid.
+
+        A kiobuf still referenced as some recorded registration's lock
+        cookie is skipped — the registration phase owns it (unmapping it
+        underneath would corrupt that deregistration's retry).
+        """
+        referenced = {id(reg.region.lock_cookie)
+                      for agent in self.agents
+                      for reg in agent.registrations.values()}
+        for kio in list(self.kernel.kiobufs.values()):
+            if not kio.mapped or self._alive(kio.pid):
+                continue
+            if id(kio) in referenced:
+                continue
+            key = ("kio", kio.kiobuf_id)
+            if self._attempt(key,
+                             lambda k=kio: self.kernel.unmap_kiobuf(k),
+                             report):
+                report.kiobufs_reclaimed += 1
+
+    def _reap_dead_vis(self, report: ReaperReport) -> None:
+        """VIs owned by a dead pid; also drops its protection tag."""
+        for agent in self.agents:
+            nic = agent.nic
+            for vi in list(nic.vis.values()):
+                if self._alive(vi.owner_pid):
+                    continue
+                key = ("vi", nic.name, vi.vi_id)
+                if self._attempt(key,
+                                 lambda n=nic, v=vi.vi_id:
+                                 n.teardown_vi(v, reason="reaper"),
+                                 report):
+                    report.vis_reclaimed += 1
+            for pid in [p for p in agent._tags if not self._alive(p)]:
+                agent._tags.pop(pid, None)
+
+    def _reap_stale_descriptors(self, report: ReaperReport) -> None:
+        """Descriptors posted longer ago than the configured deadline.
+
+        Flushing completes them with ``VIP_ERROR_CONN_LOST`` so a poller
+        learns its transfer died of old age instead of waiting forever.
+        """
+        deadline = self.descriptor_deadline_ns
+        if deadline is None:
+            return
+        cutoff = self.kernel.clock.now_ns - deadline
+        for agent in self.agents:
+            for vi in list(agent.nic.vis.values()):
+                for queue, complete in ((vi.send_queue, vi.complete_send),
+                                        (vi.recv_queue, vi.complete_recv)):
+                    expired = [d for d in queue
+                               if d.posted_at_ns is not None
+                               and d.posted_at_ns <= cutoff]
+                    for desc in expired:
+                        queue.remove(desc)
+                        desc.complete("VIP_ERROR_CONN_LOST", 0)
+                        complete(desc)
+                        report.descriptors_flushed += 1
+                        self.kernel.trace.emit(
+                            "reaper_descriptor_flush", vi=vi.vi_id,
+                            posted_at_ns=desc.posted_at_ns,
+                            age_ns=self.kernel.clock.now_ns
+                            - desc.posted_at_ns)
+
+    def _live_registration_frames(self) -> set[int]:
+        return {frame
+                for agent in self.agents
+                for reg in agent.registrations.values()
+                for frame in reg.region.frames}
+
+    def _reap_orphan_frames(self, report: ReaperReport) -> None:
+        """swap_out's orphans — unmapped frames kept alive by leaked
+        references — that no recorded registration still explains.
+
+        Frames a recorded registration names are left alone: its
+        eventual deregistration will drop the reference itself, and
+        freeing underneath it would underflow.
+        """
+        explained = self._live_registration_frames()
+        for pd in list(self.kernel.pagemap):
+            if (pd.tag != "orphan" or pd.count <= 0
+                    or pd.pinned or pd.mapping is not None
+                    or pd.frame in explained):
+                continue
+            key = ("orphan", pd.frame)
+            if self._attempt(key,
+                             lambda f=pd.frame:
+                             self._free_orphan(f),
+                             report):
+                report.orphan_frames_freed += 1
+
+    def _free_orphan(self, frame: int) -> None:
+        pd = self.kernel.pagemap.page(frame)
+        # Every remaining reference is leaked by definition (unmapped,
+        # unpinned, unregistered): drop them all.
+        while pd.count > 0:
+            if self.kernel.pagemap.put_page(frame):
+                break
+        self.kernel.trace.emit("reaper_orphan_freed", frame=frame)
+
+    def _reap_unexplained_pins(self, report: ReaperReport) -> None:
+        """Pinned frames with no backing registration or kiobuf.
+
+        A pin only the leak created keeps the frame unreclaimable
+        forever, so after ``max_attempts`` consecutive sightings (spaced
+        by the backoff schedule — a transiently in-flight pin must not
+        be stripped) the excess pins are force-released.
+        """
+        expected: Counter[int] = Counter()
+        for agent in self.agents:
+            for reg in agent.registrations.values():
+                for frame in reg.region.frames:
+                    expected[frame] += 1
+        for kio in self.kernel.kiobufs.values():
+            if kio.mapped:
+                for frame in kio.frames:
+                    expected[frame] += 1
+        now = self.kernel.clock.now_ns
+        for pd in self.kernel.pagemap:
+            excess = pd.pin_count - expected.get(pd.frame, 0)
+            if excess <= 0:
+                self._backoff.pop(("pin", pd.frame), None)
+                continue
+            key = ("pin", pd.frame)
+            state = self._backoff.get(key)
+            if state is None:
+                state = self._backoff[key] = _Backoff()
+            if now < state.next_due_ns:
+                report.deferred += 1
+                continue
+            state.attempts += 1
+            if state.attempts < self.max_attempts:
+                state.next_due_ns = now + self.backoff_base_ns * (
+                    2 ** (state.attempts - 1))
+                report.deferred += 1
+                continue
+            for _ in range(excess):
+                pd.unpin()
+            self._backoff.pop(key, None)
+            report.pins_force_released += excess
+            self.kernel.trace.emit("reaper_pin_released", frame=pd.frame,
+                                   excess=excess,
+                                   sightings=state.attempts)

@@ -33,6 +33,8 @@ class Task:
         self.vmas = VMAList()
         #: next mmap placement hint, in vpns (grows upward)
         self.mmap_hint_vpn = 0x1000
+        #: cleared by the kernel when the task is torn down
+        self.alive = True
         #: statistics
         self.minor_faults = 0
         self.major_faults = 0
@@ -60,6 +62,11 @@ class Task:
     def munmap(self, va: int, npages: int) -> None:
         """Unmap ``npages`` starting at ``va``."""
         self._kernel.sys_munmap(self, va, npages)
+
+    def exit(self) -> None:
+        """Terminate this task (see
+        :meth:`repro.kernel.kernel.Kernel.exit_task`)."""
+        self._kernel.exit_task(self)
 
     def write(self, va: int, data: bytes) -> None:
         """Store ``data`` at ``va`` (faulting pages in as needed)."""

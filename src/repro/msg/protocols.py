@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ViaError
 from repro.msg.endpoint import Endpoint
+from repro.sim.faults import crash_if_due
 from repro.via.descriptor import DataSegment, Descriptor
 
 _RTS = struct.Struct("<4sQQ")   # magic, nbytes, msg_id
@@ -287,13 +288,24 @@ class RendezvousZeroCopyProtocol(Protocol):
             offset += n
         self._verify(sender, receiver, src_va, dst_va, nbytes, result)
 
+    @staticmethod
+    def _crash(ep: Endpoint, point: str) -> None:
+        """Kill ``ep``'s process here if its machine's fault plan says
+        so (the kill-at-every-step chaos sweep).  Raises
+        :class:`~repro.errors.ProcessKilled` — a *kernel* error, so it
+        escapes the ``ViaError`` degrade-to-copy handlers."""
+        crash_if_due(ep.machine.agent.fault_plan, ep.machine.kernel,
+                     ep.task, point)
+
     def _transfer(self, sender: Endpoint, receiver: Endpoint,
                   src_va: int, dst_va: int, nbytes: int,
                   result: TransferResult) -> None:
         # RTS: "I have nbytes for you."
         sender.send_control(_RTS.pack(b"RTS!", nbytes, 1))
+        self._crash(sender, "xfer.rts_sent")
         rts = receiver.recv_control()
         _, size, _ = _RTS.unpack(rts)
+        self._crash(receiver, "xfer.rts_received")
 
         # Receiver registers its *user* buffer dynamically and exposes it.
         try:
@@ -303,9 +315,11 @@ class RendezvousZeroCopyProtocol(Protocol):
             self._degrade_to_copy(sender, receiver, src_va, dst_va,
                                   nbytes, result, exc, side="receiver")
             return
+        self._crash(receiver, "xfer.dst_registered")
         receiver.send_control(_CTS.pack(b"CTS!", rreg.handle, dst_va, 1))
         cts = sender.recv_control()
         _, rhandle, rva, _ = _CTS.unpack(cts)
+        self._crash(sender, "xfer.cts_received")
 
         # Sender registers its user buffer and RDMA-writes directly.
         try:
@@ -315,6 +329,7 @@ class RendezvousZeroCopyProtocol(Protocol):
             self._degrade_to_copy(sender, receiver, src_va, dst_va,
                                   nbytes, result, exc, side="sender")
             return
+        self._crash(sender, "xfer.src_registered")
         desc = Descriptor.rdma_write(
             [DataSegment(sreg.handle, src_va, nbytes)],
             remote_handle=rhandle, remote_va=rva)
@@ -322,11 +337,14 @@ class RendezvousZeroCopyProtocol(Protocol):
         if desc.status != "VIP_SUCCESS":
             raise ViaError(f"RDMA write failed: {desc.status}",
                            status=desc.status)
+        self._crash(sender, "xfer.rdma_done")
 
         # FIN so the receiver knows the data landed.
         sender.send_control(_FIN.pack(b"FIN!", 1))
+        self._crash(sender, "xfer.fin_sent")
         fin = receiver.recv_control()
         assert _FIN.unpack(fin)[0] == b"FIN!"
+        self._crash(receiver, "xfer.fin_received")
 
         self._release(sender, sreg, scached, src_va, nbytes)
         self._release(receiver, rreg, rcached, dst_va, size)

@@ -13,7 +13,7 @@ host time of the whole simulation; see ``benchmarks/``.)
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 class SimClock:
@@ -29,6 +29,9 @@ class SimClock:
         self._now_ns: int = 0
         self._by_category: dict[str, int] = {}
         self._frozen = False
+        #: time-watchers (periodic daemons: reaper, invariant watchdog)
+        self._watchers: list[Callable[[int], None]] = []
+        self._notifying = False
 
     # -- reading ----------------------------------------------------------
 
@@ -66,6 +69,33 @@ class SimClock:
             return
         self._now_ns += ns
         self._by_category[category] = self._by_category.get(category, 0) + ns
+        # Wake the time-watchers.  Work a watcher performs charges the
+        # clock too, so notification is non-reentrant: a daemon's own
+        # charges never recursively re-trigger the daemons.
+        if self._watchers and not self._notifying:
+            self._notifying = True
+            try:
+                for fn in tuple(self._watchers):
+                    fn(self._now_ns)
+            finally:
+                self._notifying = False
+
+    def subscribe(self, fn: Callable[[int], None]) -> Callable[[], None]:
+        """Register a time-watcher called with ``now_ns`` after every
+        (non-frozen, nonzero) charge; returns an unsubscribe callable.
+
+        This is how the simulation models periodic kernel daemons: there
+        is no scheduler, so anything that should happen "every N ms of
+        simulated time" piggybacks on the clock advancing.
+        """
+        self._watchers.append(fn)
+
+        def unsubscribe() -> None:
+            try:
+                self._watchers.remove(fn)
+            except ValueError:
+                pass
+        return unsubscribe
 
     @contextmanager
     def frozen(self) -> Iterator[None]:

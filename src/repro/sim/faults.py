@@ -33,10 +33,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ProcessKilled
 from repro.sim.rng import make_rng
 
 #: Default extra latency of a delayed packet (one disk-seek-ish stall).
 DEFAULT_DELAY_NS = 20_000
+
+#: Crash points inside the driver's registration path, in execution
+#: order: before the backend pins, after the pin but before the TPT
+#: install, and after the registration is fully recorded.
+REGISTRATION_CRASH_POINTS: tuple[str, ...] = (
+    "register.start",
+    "register.pinned",
+    "register.installed",
+)
+
+#: Crash points inside a rendezvous zero-copy transfer, mapping each
+#: point to the rank that dies there (the *other* rank must then observe
+#: VIP_ERROR_CONN_LOST instead of hanging).
+TRANSFER_CRASH_POINTS: dict[str, str] = {
+    "xfer.rts_sent": "sender",
+    "xfer.rts_received": "receiver",
+    "xfer.dst_registered": "receiver",
+    "xfer.cts_received": "sender",
+    "xfer.src_registered": "sender",
+    "xfer.rdma_done": "sender",
+    "xfer.fin_sent": "sender",
+    "xfer.fin_received": "receiver",
+}
+
+#: Every crash point a plan may name.
+CRASH_POINTS: tuple[str, ...] = (
+    REGISTRATION_CRASH_POINTS + tuple(TRANSFER_CRASH_POINTS))
 
 
 @dataclass
@@ -51,13 +79,14 @@ class FaultStats:
     registration_failures: int = 0
     pin_failures: int = 0
     nic_resets: int = 0
+    crashes: int = 0
 
     @property
     def total(self) -> int:
         return (self.drops + self.duplicates + self.corruptions
                 + self.delays + self.dma_failures
                 + self.registration_failures + self.pin_failures
-                + self.nic_resets)
+                + self.nic_resets + self.crashes)
 
 
 @dataclass
@@ -91,6 +120,12 @@ class FaultPlan:
     nic_reset_at_ns: int | None = None
     #: restrict the reset to one NIC by name (None = every NIC checks)
     nic_reset_name: str | None = None
+    #: kill a process when execution reaches this crash point (one-shot;
+    #: see CRASH_POINTS for the instrumented locations)
+    crash_point: str | None = None
+    #: restrict the crash to this pid (None = first process to reach
+    #: the crash point dies)
+    crash_pid: int | None = None
 
     stats: FaultStats = field(default_factory=FaultStats)
 
@@ -100,8 +135,14 @@ class FaultPlan:
             rate = getattr(self, attr)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{attr} must be in [0, 1], got {rate}")
+        if (self.crash_point is not None
+                and self.crash_point not in CRASH_POINTS):
+            raise ValueError(
+                f"unknown crash point {self.crash_point!r}; "
+                f"choose one of {sorted(CRASH_POINTS)}")
         self._rng = make_rng(self.seed)
         self._reset_fired = False
+        self._crash_fired = False
 
     # -- wire faults --------------------------------------------------------
 
@@ -187,6 +228,37 @@ class FaultPlan:
         self._reset_fired = True
         self.stats.nic_resets += 1
         return True
+
+    # -- process crashes ----------------------------------------------------
+
+    def take_crash(self, point: str, pid: int) -> bool:
+        """One-shot: does the process ``pid`` die at ``point``?"""
+        if self._crash_fired or self.crash_point != point:
+            return False
+        if self.crash_pid is not None and pid != self.crash_pid:
+            return False
+        self._crash_fired = True
+        self.stats.crashes += 1
+        return True
+
+
+def crash_if_due(plan: FaultPlan | None, kernel, task, point: str) -> None:
+    """Instrumentation hook for crash points.
+
+    If ``plan`` schedules a crash for ``task`` at ``point``, kill the
+    task through the kernel (running the full exit-path reclamation) and
+    raise :class:`~repro.errors.ProcessKilled` so the interrupted
+    operation unwinds like a syscall aborted by a fatal signal.
+    """
+    if plan is None or task is None:
+        return
+    if not plan.take_crash(point, task.pid):
+        return
+    kernel.trace.emit("crash_point", point=point, pid=task.pid)
+    kernel.kill(task.pid)
+    raise ProcessKilled(
+        f"pid {task.pid} killed at crash point {point!r}",
+        pid=task.pid, point=point)
 
 
 def install(plan: FaultPlan | None, target) -> FaultPlan | None:

@@ -46,5 +46,17 @@ class CompletionQueue:
             return self._items.popleft()
         return None
 
+    def drain_vi(self, vi_id: int) -> int:
+        """Drop every queued completion belonging to ``vi_id``; returns
+        how many were dropped.
+
+        Used when a VI is torn down while its owner is dead: a CQ may be
+        shared between VIs of several processes, and nobody should poll
+        a dead process's notifications out of it.
+        """
+        before = len(self._items)
+        self._items = deque(c for c in self._items if c.vi_id != vi_id)
+        return before - len(self._items)
+
     def __len__(self) -> int:
         return len(self._items)

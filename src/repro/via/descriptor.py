@@ -56,6 +56,9 @@ class Descriptor:
     length_transferred: int = 0
     #: immediate data delivered into a receive descriptor
     received_immediate: bytes | None = None
+    #: simulated time the NIC accepted the descriptor (stamped at post;
+    #: the orphan reaper uses it to age out abandoned descriptors)
+    posted_at_ns: int | None = None
 
     desc_id: int = field(default_factory=lambda: next(_desc_ids))
 

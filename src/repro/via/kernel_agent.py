@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import InvalidArgument, NotRegistered, ViaError
+from repro.hw.physmem import PAGE_SIZE
+from repro.sim.faults import crash_if_due
 from repro.via.constants import VIP_ERROR_RESOURCE, ReliabilityLevel
 from repro.via.cq import CompletionQueue
 from repro.via.locking import make_backend
@@ -63,6 +65,12 @@ class KernelAgent:
         #: live registrations by handle
         self.registrations: dict[int, Registration] = {}
         self.fault_plan: "FaultPlan | None" = None
+        # The driver owns per-process state (VIs, registrations, pins),
+        # so it must hear about exits and munmaps: a process dying with
+        # live registrations must not leak pinned frames, and unmapping
+        # a registered range must not leave stale TPT entries.
+        kernel.exit_hooks.append(self.on_task_exit)
+        kernel.munmap_hooks.append(self.on_munmap)
 
     # ---------------------------------------------------------------- open
 
@@ -100,6 +108,7 @@ class KernelAgent:
             raise InvalidArgument(f"cannot register {nbytes} bytes")
         tag = self.prot_tag(task)
         plan = self.fault_plan
+        crash_if_due(plan, self.kernel, task, "register.start")
         if plan is not None and plan.take_registration_failure():
             # Driver-level failure (TPT exhaustion, transient driver
             # error) before any pin is taken — nothing to clean up.
@@ -116,6 +125,9 @@ class KernelAgent:
             raise ViaError("injected pin failure",
                            status=VIP_ERROR_RESOURCE)
         result = self.backend.lock(self.kernel, task, va, nbytes)
+        # Crash here = the process died pinned-but-uninstalled; the exit
+        # path's kiobuf sweep (or the reaper) must release the pin.
+        crash_if_due(plan, self.kernel, task, "register.pinned")
         try:
             region = self.nic.tpt.install(
                 va_base=va, nbytes=nbytes, prot_tag=tag,
@@ -133,6 +145,9 @@ class KernelAgent:
         self.kernel.trace.emit("via_register", pid=task.pid, va=va,
                                nbytes=nbytes, handle=region.handle,
                                backend=self.backend.name)
+        # Crash here = died with a fully recorded registration; the exit
+        # hook deregisters it like any other.
+        crash_if_due(plan, self.kernel, task, "register.installed")
         return reg
 
     def deregister_memory(self, handle: int) -> None:
@@ -150,6 +165,81 @@ class KernelAgent:
     def registrations_of(self, pid: int) -> list[Registration]:
         """All live registrations of one process."""
         return [r for r in self.registrations.values() if r.pid == pid]
+
+    def reclaim_registration(self, handle: int) -> None:
+        """Teardown-ordering variant of :meth:`deregister_memory` for
+        the reaper: release the pin *first*, so a backend failure leaves
+        the registration record (and TPT entry) intact for a retry, then
+        drop the TPT entries and the driver record."""
+        reg = self.registrations.get(handle)
+        if reg is None:
+            raise NotRegistered(f"no registration with handle {handle}")
+        self.backend.unlock(self.kernel, reg.region.lock_cookie)
+        self.registrations.pop(handle, None)
+        region = self.nic.tpt.remove(handle)
+        self.kernel.clock.charge(
+            region.npages * self.kernel.costs.tpt_update_ns, "register")
+        self.kernel.trace.emit("via_reclaim_registration", handle=handle,
+                               pid=reg.pid, backend=self.backend.name)
+
+    def forget_registration(self, handle: int) -> Registration:
+        """Last-resort teardown: drop the TPT entries and the driver
+        record even though the backend could not (or will not) release
+        the pin.  The leaked pin becomes the unexplained-pin scan's
+        problem; the stale translation is gone, which is the part the
+        hardware would otherwise DMA through."""
+        reg = self.registrations.pop(handle, None)
+        if reg is None:
+            raise NotRegistered(f"no registration with handle {handle}")
+        self.nic.tpt.remove(handle)
+        self.kernel.trace.emit("via_forget_registration", handle=handle,
+                               pid=reg.pid, backend=self.backend.name)
+        return reg
+
+    # ------------------------------------------------------------ exit path
+
+    def on_task_exit(self, task: "Task") -> None:
+        """Exit-path reclamation: walk this driver's per-pid state.
+
+        Order matters — VIs first (peers complete with CONN_LOST and the
+        victim's descriptors flush before the memory they name is
+        unpinned), then registrations (through the active locking
+        strategy, so pin refcounts actually reach zero; removing a TPT
+        entry also invalidates the NIC's translation LRU), then the
+        protection tag.
+        """
+        pid = task.pid
+        vis = descriptors = 0
+        for vi in [v for v in self.nic.vis.values() if v.owner_pid == pid]:
+            descriptors += self.nic.teardown_vi(vi.vi_id,
+                                                reason="owner_exit")
+            vis += 1
+        regs = 0
+        for reg in self.registrations_of(pid):
+            self.deregister_memory(reg.handle)
+            regs += 1
+        self._tags.pop(pid, None)
+        if vis or regs or descriptors:
+            self.kernel.trace.emit("via_task_teardown", pid=pid, vis=vis,
+                                   registrations=regs,
+                                   descriptors=descriptors)
+
+    def on_munmap(self, task: "Task", start_vpn: int,
+                  end_vpn: int) -> None:
+        """Force-deregister registrations overlapping an unmapped range.
+
+        Without this, ``munmap`` of a still-registered region silently
+        leaves stale TPT entries: the frames are freed (or recycled)
+        while the NIC keeps DMA-ing through the old translations.
+        """
+        for reg in self.registrations_of(task.pid):
+            r_first = reg.va // PAGE_SIZE
+            r_last = (reg.va + reg.nbytes - 1) // PAGE_SIZE
+            if r_first < end_vpn and r_last >= start_vpn:
+                self.kernel.trace.emit(
+                    "via_munmap_deregister", pid=task.pid,
+                    handle=reg.handle, va=reg.va, nbytes=reg.nbytes)
+                self.deregister_memory(reg.handle)
 
     # -------------------------------------------------------------------- VIs
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import PageAccountingError, ViaError
 from repro.kernel.fault import handle_fault
 from repro.via.locking.base import LockingBackend, LockResult, range_vpns
 
@@ -46,13 +47,27 @@ class RefcountLocking(LockingBackend):
             frames.append(pte.frame)
         kernel.trace.emit("lock_refcount", pid=task.pid, va=va,
                           npages=len(frames))
-        return LockResult(frames=frames, cookie=("refcount", frames))
+        # The third cookie element makes the cookie one-shot: releasing
+        # it twice (an exit path racing an explicit deregister) must not
+        # silently drop references it never took.
+        return LockResult(frames=frames,
+                          cookie=("refcount", frames, {"released": False}))
 
     def unlock(self, kernel: "Kernel", cookie: object) -> None:
-        kind, frames = cookie  # type: ignore[misc]
+        kind, frames, state = cookie  # type: ignore[misc]
         assert kind == "refcount"
+        if state["released"]:
+            raise ViaError(
+                "refcount lock cookie already released "
+                "(double deregistration)", status="VIP_INVALID_MEMORY")
+        state["released"] = True
         kernel.clock.charge(kernel.costs.syscall_ns, "register")
         for frame in frames:
+            pd = kernel.pagemap.page(frame)
+            if pd.count <= 0:
+                raise PageAccountingError(
+                    f"refcount unlock would drive frame {frame} below "
+                    f"zero (count={pd.count})")
             # If the page was orphaned by swap_out in the meantime, this
             # put is the last reference and quietly frees the orphan —
             # "system stability is not affected by this lapse".

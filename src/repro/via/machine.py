@@ -70,6 +70,20 @@ class Machine:
         """Connect two VIs of this machine's own NIC (loopback)."""
         self.fabric.connect(self.nic, vi_a.vi_id, self.nic, vi_b.vi_id)
 
+    def arm_watchdog(self, **kwargs):
+        """Arm an :class:`~repro.core.audit.InvariantWatchdog` on this
+        machine and return it."""
+        from repro.core.audit import InvariantWatchdog
+        return InvariantWatchdog(**kwargs).arm(self)
+
+    def start_reaper(self, **kwargs):
+        """Start an :class:`~repro.kernel.reaper.OrphanReaper` for this
+        machine (installed as ``kernel.reaper``) and return it."""
+        from repro.kernel.reaper import OrphanReaper
+        reaper = OrphanReaper(self.kernel, agents=[self.agent], **kwargs)
+        reaper.start()
+        return reaper
+
 
 class Cluster:
     """Several machines on one fabric with one shared clock."""
@@ -104,6 +118,17 @@ class Cluster:
         disarm) into the whole cluster."""
         from repro.sim.faults import install
         return install(plan, self)
+
+    def arm_watchdog(self, **kwargs):
+        """Arm one :class:`~repro.core.audit.InvariantWatchdog` over
+        every machine in the cluster and return it."""
+        from repro.core.audit import InvariantWatchdog
+        return InvariantWatchdog(**kwargs).arm(self)
+
+    def start_reapers(self, **kwargs):
+        """Start one :class:`~repro.kernel.reaper.OrphanReaper` per
+        machine; returns them in machine order."""
+        return [m.start_reaper(**kwargs) for m in self.machines]
 
     def __getitem__(self, i: int) -> Machine:
         return self.machines[i]

@@ -104,6 +104,30 @@ class VIANic:
                 f"VI {vi_id} is still connected")
         del self.vis[vi_id]
 
+    def teardown_vi(self, vi_id: int, reason: str = "teardown") -> int:
+        """Forcibly remove a VI in *any* state (exit path / reaper).
+
+        A connected peer transitions to ERROR and flushes its work
+        queues with ``VIP_ERROR_CONN_LOST`` — the survivor learns of the
+        loss instead of hanging.  The VI's own outstanding descriptors
+        are flushed the same way, and any completions it had parked in
+        shared CQs are drained (nobody may poll a dead VI's
+        notifications).  Returns the number of flushed descriptors.
+        """
+        vi = self.vi(vi_id)
+        flushed = vi.outstanding
+        if vi.peer is not None and self.fabric is not None:
+            self.fabric.disconnect(self, vi_id)
+        vi.enter_error()
+        for cq in (vi.send_cq, vi.recv_cq):
+            if cq is not None:
+                cq.drain_vi(vi_id)
+        del self.vis[vi_id]
+        self.kernel.trace.emit("vi_teardown", nic=self.name, vi=vi_id,
+                               owner=vi.owner_pid, reason=reason,
+                               flushed=flushed)
+        return flushed
+
     # ------------------------------------------------------------- fault hooks
 
     def check_faults(self) -> None:
@@ -152,6 +176,7 @@ class VIANic:
         self._charge_post()
         desc.done = False
         desc.status = VIP_NOT_DONE
+        desc.posted_at_ns = self.kernel.clock.now_ns
         vi.recv_queue.append(desc)
 
     def post_send(self, vi_id: int, desc: Descriptor, pid: int) -> None:
@@ -167,6 +192,7 @@ class VIANic:
         self._charge_post()
         desc.done = False
         desc.status = VIP_NOT_DONE
+        desc.posted_at_ns = self.kernel.clock.now_ns
         vi.send_queue.append(desc)
         self._process_send_queue(vi)
 

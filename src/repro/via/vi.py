@@ -90,6 +90,11 @@ class VirtualInterface:
     def connected(self) -> bool:
         return self.state == ViState.CONNECTED
 
+    @property
+    def outstanding(self) -> int:
+        """Descriptors still queued (posted, not yet completed)."""
+        return len(self.send_queue) + len(self.recv_queue)
+
     def require_connected(self) -> None:
         """Raise unless the VI is in the CONNECTED state."""
         if self.state != ViState.CONNECTED:

@@ -1,11 +1,42 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the post-hoc invariant
+audit: every kernel built during a test is checked for accounting
+violations after the test body finishes, so a test that silently
+corrupts kernel state fails even if its own assertions pass.  Tests
+that corrupt state *on purpose* opt out with
+``@pytest.mark.no_posthoc_audit``."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.audit import audit_kernel_invariants
 from repro.kernel.kernel import Kernel
 from repro.sim import costs as costs_mod
+
+_live_kernels: list[Kernel] = []
+_original_kernel_init = Kernel.__init__
+
+
+def _recording_init(self, *args, **kwargs):
+    _original_kernel_init(self, *args, **kwargs)
+    _live_kernels.append(self)
+
+
+Kernel.__init__ = _recording_init
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    _live_kernels.clear()
+    yield
+
+
+def pytest_runtest_teardown(item, nextitem):
+    kernels, _live_kernels[:] = list(_live_kernels), []
+    if item.get_closest_marker("no_posthoc_audit") is not None:
+        return
+    for kernel in kernels:
+        audit_kernel_invariants(kernel)
 
 
 @pytest.fixture

@@ -65,6 +65,7 @@ class TestKernelInvariants:
         t.touch_pages(va, 8)
         audit_kernel_invariants(kernel)
 
+    @pytest.mark.no_posthoc_audit
     def test_detects_pte_to_free_frame(self, kernel):
         t = kernel.create_task()
         va = t.mmap(1)
@@ -74,6 +75,7 @@ class TestKernelInvariants:
         with pytest.raises(PageAccountingError):
             audit_kernel_invariants(kernel)
 
+    @pytest.mark.no_posthoc_audit
     def test_detects_shared_swap_slot(self, kernel):
         a = kernel.create_task()
         b = kernel.create_task()
