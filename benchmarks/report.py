@@ -14,8 +14,17 @@ The two are merged into ``BENCH.json``::
 
     {"meta":    {...run info...},
      "records": [ ...tables / series / metrics, in emit order... ],
+     "metrics": {"<title>": { ...observability snapshot... }},
      "host":    {"<test name>": {"median_s": ..., "mean_s": ...,
                                  "stddev_s": ..., "rounds": ...}}}
+
+``metrics`` collects every ``kind == "metrics"`` record (the
+observability snapshots emitted by E15) keyed by title, so the headline
+numbers — regcache hit rate, DMA burst histogram, fabric retransmit
+counters — are addressable without scanning the record stream.  The run
+also points ``REPRO_BENCH_TRACE`` at ``BENCH_TRACE.json`` next to the
+output, so E15 drops its Chrome trace (``chrome://tracing``) there for
+CI to archive.
 
 Usage::
 
@@ -42,7 +51,8 @@ REPO = HERE.parent
 
 #: CI smoke selection: the fast-path experiment plus one legacy
 #: experiment, both cheap enough for a per-push job.
-QUICK = ["bench_e13_fastpath.py", "bench_e5_messaging.py"]
+QUICK = ["bench_e13_fastpath.py", "bench_e5_messaging.py",
+         "bench_e15_observability.py"]
 
 
 def run(targets: list[str], out_path: Path, quick: bool) -> int:
@@ -52,6 +62,8 @@ def run(targets: list[str], out_path: Path, quick: bool) -> int:
 
         env = dict(os.environ)
         env["REPRO_BENCH_RECORD"] = str(records_path)
+        env.setdefault("REPRO_BENCH_TRACE",
+                       str(out_path.parent / "BENCH_TRACE.json"))
         env.setdefault("PYTHONPATH", str(REPO / "src"))
 
         cmd = [sys.executable, "-m", "pytest", "-q", "-s",
@@ -77,6 +89,10 @@ def run(targets: list[str], out_path: Path, quick: bool) -> int:
                     "rounds": stats.get("rounds"),
                 }
 
+        metrics = {rec["title"]: {k: v for k, v in rec.items()
+                                  if k not in ("kind", "title")}
+                   for rec in records if rec.get("kind") == "metrics"}
+
         report = {
             "meta": {
                 "quick": quick,
@@ -86,6 +102,7 @@ def run(targets: list[str], out_path: Path, quick: bool) -> int:
                 "pytest_exit": proc.returncode,
             },
             "records": records,
+            "metrics": metrics,
             "host": host,
         }
         out_path.write_text(json.dumps(report, indent=2) + "\n",

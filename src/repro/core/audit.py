@@ -278,6 +278,10 @@ class InvariantWatchdog:
             "now_ns": kernel.clock.now_ns,
             "checks_run": self.checks_run,
             "memory": kernel.memory_stats(),
+            # The full metrics/span snapshot: with observability enabled
+            # a violation arrives with the quantitative history (swap
+            # activity, retransmits, cache churn) attached.
+            "metrics": kernel.obs.snapshot(),
             **extra,
         }
         kernel.trace.emit("invariant_violation", violation=kind,

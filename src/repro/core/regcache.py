@@ -60,9 +60,15 @@ class CacheEntry:
     rdma_read: bool = False
 
     @property
-    def key(self) -> tuple[int, int, int]:
+    def key(self) -> tuple[int, int, int, bool, bool]:
+        """Identity of the cached registration.  Includes the RDMA
+        enables: the same range registered with different enables is a
+        *different* registration (a plain entry cannot serve an
+        rdma_write acquire), and keying on the range alone would let the
+        second insert silently shadow the first in ``_entries`` while
+        both stay in ``_page_index`` — a leak."""
         r = self.registration
-        return (r.pid, r.va, r.nbytes)
+        return (r.pid, r.va, r.nbytes, self.rdma_write, self.rdma_read)
 
     def page_span(self) -> tuple[int, int]:
         """``[first_vpn, last_vpn]`` (inclusive) of the cached range."""
@@ -100,14 +106,28 @@ class RegistrationCache:
         self.max_register_attempts = max_register_attempts
         #: entries in LRU order: oldest acquire first (acquire moves an
         #: entry to the hot end; release does not change recency)
-        self._entries: OrderedDict[tuple[int, int, int], CacheEntry] = \
-            OrderedDict()
+        self._entries: OrderedDict[tuple[int, int, int, bool, bool],
+                                   CacheEntry] = OrderedDict()
         #: interval index: vpn → entries covering that page, in
         #: insertion order (so candidate priority matches the old scan)
         self._page_index: dict[int, list[CacheEntry]] = {}
         self._pages_total = 0
         self._tick = 0
         self.stats = CacheStats()
+
+    def _publish_stats(self, obs) -> None:
+        """Bridge :class:`CacheStats` into the metrics registry (called
+        only when observability is enabled)."""
+        stats = self.stats
+        metrics = obs.metrics
+        metrics.counter("core.regcache.hits").value = stats.hits
+        metrics.counter("core.regcache.misses").value = stats.misses
+        metrics.counter("core.regcache.evictions").value = stats.evictions
+        metrics.counter("core.regcache.retries").value = stats.retries
+        metrics.counter("core.regcache.capacity_failures").value = \
+            stats.capacity_failures
+        metrics.gauge("core.regcache.hit_rate").set(stats.hit_rate)
+        metrics.gauge("core.regcache.cached_pages").set(self._pages_total)
 
     # -- internals -----------------------------------------------------------
 
@@ -125,7 +145,14 @@ class RegistrationCache:
         for vpn in range(first, last + 1):
             bucket = self._page_index.get(vpn)
             if bucket is not None:
-                bucket.remove(entry)
+                # Remove by identity, not equality: two distinct entries
+                # covering the same span compare equal (dataclass
+                # __eq__), and list.remove would evict whichever comes
+                # first — desyncing _page_index from _entries.
+                for i, candidate in enumerate(bucket):
+                    if candidate is entry:
+                        del bucket[i]
+                        break
                 if not bucket:
                     del self._page_index[vpn]
         self._pages_total -= entry.registration.region.npages
@@ -183,6 +210,9 @@ class RegistrationCache:
             entry.last_use = self._tick
             self._entries.move_to_end(entry.key)
             self.stats.hits += 1
+            obs = self.agent.kernel.obs
+            if obs.enabled:
+                self._publish_stats(obs)
             return entry.registration
 
         self.stats.misses += 1
@@ -222,6 +252,9 @@ class RegistrationCache:
                            rdma_write=rdma_write, rdma_read=rdma_read)
         self._entries[entry.key] = entry
         self._index_add(entry)
+        obs = self.agent.kernel.obs
+        if obs.enabled:
+            self._publish_stats(obs)
         return reg
 
     def release(self, va: int, nbytes: int) -> None:

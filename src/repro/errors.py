@@ -162,10 +162,23 @@ class ViaConnectionError(ViaError):
         super().__init__(message, status="VIP_INVALID_STATE")
 
 
-#: Deprecated alias — the class was once named with a trailing underscore
-#: to dodge the ``ConnectionError`` builtin, which leaked an awkward name
-#: into user-facing tracebacks.  Will be removed in a future release.
-ConnectionError_ = ViaConnectionError
+def __getattr__(name: str):
+    """Deprecated aliases, resolved lazily so merely importing this
+    module stays silent but *using* a dead name warns loudly.
+
+    ``ConnectionError_`` was the class's original name (the trailing
+    underscore dodged the ``ConnectionError`` builtin), which leaked an
+    awkward name into user-facing tracebacks; it was renamed to
+    :class:`ViaConnectionError` and will be removed in a future release.
+    """
+    if name == "ConnectionError_":
+        import warnings
+        warnings.warn(
+            "ConnectionError_ is deprecated; use ViaConnectionError",
+            DeprecationWarning, stacklevel=2)
+        return ViaConnectionError
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class QueueEmpty(ViaError):

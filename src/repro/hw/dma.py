@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import DMAFault
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Trace
@@ -37,11 +38,12 @@ class DMAEngine:
 
     def __init__(self, phys: PhysicalMemory, clock: SimClock,
                  costs: CostModel, trace: Trace | None = None,
-                 name: str = "dma") -> None:
+                 name: str = "dma", obs=None) -> None:
         self._phys = phys
         self._clock = clock
         self._costs = costs
         self._trace = trace
+        self._obs = obs
         self.name = name
         self.fault_plan: "FaultPlan | None" = None
         #: merge physically-adjacent gather/scatter segments into single
@@ -92,6 +94,16 @@ class DMAEngine:
             self._clock.charge((nruns - 1) * costs.dma_burst_ns, "dma")
         self._clock.charge(costs.dma_ns(total), "dma")
         self.bursts_issued += nruns
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("hw.dma.bursts").inc(nruns)
+            metrics.counter("hw.dma.transfers").inc()
+            metrics.histogram("hw.dma.burst_bytes",
+                              buckets=SIZE_BUCKETS).observe(
+                                  total // nruns if nruns else total)
+            metrics.histogram("hw.dma.transfer_bytes",
+                              buckets=SIZE_BUCKETS).observe(total)
 
     def _maybe_fault(self, op: str, phys_addr: int, length: int) -> None:
         """Raise an injected :class:`DMAFault` when the plan says so —
@@ -153,6 +165,9 @@ class DMAEngine:
         self._charge_bursts(len(runs), total)
         out = self._phys.read_iovec(runs) if runs else b""
         self.bytes_read += total
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("hw.dma.bytes_read").inc(total)
         if self._trace is not None:
             self._trace.emit("dma_read", engine=self.name, phys_addr=first,
                              length=total, bursts=len(runs))
@@ -183,6 +198,9 @@ class DMAEngine:
         if runs:
             self._phys.write_iovec(runs, data)
         self.bytes_written += total
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("hw.dma.bytes_written").inc(total)
         if self._trace is not None:
             self._trace.emit("dma_write", engine=self.name, phys_addr=first,
                              length=total, bursts=len(runs))

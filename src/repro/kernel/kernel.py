@@ -27,6 +27,7 @@ from repro.kernel.page import PageDescriptor
 from repro.kernel.pagemap import PageMap
 from repro.kernel.task import Task
 from repro.kernel.vma import VMArea
+from repro.obs import Observability
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.rng import make_rng
@@ -45,20 +46,23 @@ class Kernel:
                  reserved_frames: int = 4,
                  trace_maxlen: int = 65536,
                  clock: SimClock | None = None,
-                 trace: Trace | None = None) -> None:
+                 trace: Trace | None = None,
+                 obs: Observability | None = None) -> None:
         self.costs = costs if costs is not None else CostModel()
-        # A clock/trace may be shared across several machines (a cluster
-        # measures end-to-end latency on one timeline).
+        # A clock/trace/obs may be shared across several machines (a
+        # cluster measures end-to-end latency on one timeline and rolls
+        # its metrics into one snapshot).
         self.clock = clock if clock is not None else SimClock()
         self.trace = trace if trace is not None else Trace(
             self.clock, maxlen=trace_maxlen)
+        self.obs = obs if obs is not None else Observability(self.clock)
         self.rng = make_rng(seed)
         self.phys = PhysicalMemory(num_frames)
         self.swap = SwapDevice(swap_slots, self.clock, self.costs)
         self.pagemap = PageMap(num_frames, self.clock, self.costs,
                                self.trace, reserved_frames=reserved_frames)
         self.dma = DMAEngine(self.phys, self.clock, self.costs, self.trace,
-                             name="host-dma")
+                             name="host-dma", obs=self.obs)
         self.tasks: list[Task] = []
         self.min_free_pages = min_free_pages
         #: simulated page/buffer cache: set of frames

@@ -46,20 +46,28 @@ def try_to_free_pages(kernel: "Kernel", target: int) -> int:
     freed = 0
     kernel.trace.emit("reclaim_start", target=target,
                       free=kernel.pagemap.free_count)
-    for priority in range(6, 0, -1):
-        if freed >= target:
-            break
-        scan_budget = max(16, kernel.pagemap.num_frames // priority)
-        freed += shrink_mmap(kernel, scan_budget)
-        if freed >= target:
-            break
-        freed += swap_out(kernel, target - freed)
-    if (freed < target and kernel.reaper is not None
-            and not kernel.reaper._in_scan):
-        # Ordinary reclaim fell short: draft the orphan reaper, whose
-        # dead-owner reclamation can free pages pinned by nothing live.
-        report = kernel.reaper.scan()
-        freed += report.frames_freed
+    with kernel.obs.span("kernel.reclaim", target=target):
+        for priority in range(6, 0, -1):
+            if freed >= target:
+                break
+            scan_budget = max(16, kernel.pagemap.num_frames // priority)
+            freed += shrink_mmap(kernel, scan_budget)
+            if freed >= target:
+                break
+            freed += swap_out(kernel, target - freed)
+        if (freed < target and kernel.reaper is not None
+                and not kernel.reaper._in_scan):
+            # Ordinary reclaim fell short: draft the orphan reaper, whose
+            # dead-owner reclamation can free pages pinned by nothing live.
+            report = kernel.reaper.scan()
+            freed += report.frames_freed
+    obs = kernel.obs
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("kernel.paging.reclaim_runs").inc()
+        metrics.counter("kernel.paging.frames_freed").inc(freed)
+        if freed < target:
+            metrics.counter("kernel.paging.reclaim_shortfalls").inc()
     kernel.trace.emit("reclaim_done", target=target, freed=freed)
     return freed
 
@@ -100,6 +108,7 @@ def shrink_mmap(kernel: "Kernel", scan_budget: int) -> int:
         kernel.page_cache.discard(frame)
         pd.clear_flag(PG_PAGECACHE)
         pagemap.put_page(frame)
+        kernel.obs.inc("kernel.paging.cache_reclaims")
         kernel.trace.emit("cache_reclaim", frame=frame)
         freed += 1
     return freed
@@ -175,25 +184,30 @@ def _swap_out_task_one(kernel: "Kernel", task: "Task") -> "bool | None":
         if vma is None:
             continue
         if vma.locked:
+            kernel.obs.inc("kernel.paging.swap_skips.VM_LOCKED")
             kernel.trace.emit("swap_skip", reason="VM_LOCKED",
                               pid=task.pid, vpn=vpn)
             continue
         pd = kernel.pagemap.page(pte.frame)
         if pd.locked:
+            kernel.obs.inc("kernel.paging.swap_skips.PG_locked")
             kernel.trace.emit("swap_skip", reason="PG_locked",
                               pid=task.pid, vpn=vpn, frame=pd.frame)
             continue
         if pd.reserved:
+            kernel.obs.inc("kernel.paging.swap_skips.PG_reserved")
             kernel.trace.emit("swap_skip", reason="PG_reserved",
                               pid=task.pid, vpn=vpn, frame=pd.frame)
             continue
         if pd.pinned:
+            kernel.obs.inc("kernel.paging.swap_skips.pinned")
             kernel.trace.emit("swap_skip", reason="pinned",
                               pid=task.pid, vpn=vpn, frame=pd.frame)
             continue
         if pd.cow_shares > 0:
             # Simplification: COW-shared pages are not swapped (the real
             # kernel uses the swap cache here; irrelevant to the paper).
+            kernel.obs.inc("kernel.paging.swap_skips.cow_shared")
             kernel.trace.emit("swap_skip", reason="cow_shared",
                               pid=task.pid, vpn=vpn, frame=pd.frame)
             continue
@@ -212,6 +226,11 @@ def _swap_out_task_one(kernel: "Kernel", task: "Task") -> "bool | None":
             # frame alive: it is now an orphan — unmapped, unfreed.
             pd.tag = "orphan"
         kernel._task_swap_hand[task.pid] = vpn + 1
+        obs = kernel.obs
+        if obs.enabled:
+            obs.metrics.counter("kernel.paging.swap_outs").inc()
+            if not was_freed:
+                obs.metrics.counter("kernel.paging.orphaned_frames").inc()
         kernel.trace.emit("swap_out", pid=task.pid, vpn=vpn,
                           frame=pd.frame, slot=slot,
                           refs_before=refs_before, freed=was_freed)

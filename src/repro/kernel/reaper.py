@@ -144,6 +144,18 @@ class OrphanReaper:
         report.frames_freed = max(
             0, kernel.pagemap.free_count - free_before)
         self.last_report = report
+        obs = kernel.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("kernel.reaper.scans").inc()
+            metrics.counter("kernel.reaper.reclaimed").inc(
+                report.reclaimed_total)
+            metrics.counter("kernel.reaper.frames_freed").inc(
+                report.frames_freed)
+            metrics.counter("kernel.reaper.failures").inc(report.failures)
+            metrics.counter("kernel.reaper.deferred").inc(report.deferred)
+            metrics.counter("kernel.reaper.forced").inc(
+                report.registrations_forced)
         if report.reclaimed_total or report.failures:
             kernel.trace.emit("reaper_scan", scan=report.scan_index,
                               reclaimed=report.reclaimed_total,

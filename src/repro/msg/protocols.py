@@ -81,15 +81,18 @@ class Protocol(abc.ABC):
     def transfer(self, sender: Endpoint, receiver: Endpoint,
                  src_va: int, dst_va: int, nbytes: int) -> TransferResult:
         """Run the protocol and collect observables."""
-        clock = sender.machine.kernel.clock
+        kernel = sender.machine.kernel
+        clock = kernel.clock
+        obs = kernel.obs
         copies0 = sender.copies_bytes + receiver.copies_bytes
         ctrl0 = sender.control_messages + receiver.control_messages
         retries0 = sender.cache.stats.retries + receiver.cache.stats.retries
         result = TransferResult(protocol=self.name, nbytes=nbytes,
                                 ok=False, sim_ns=0)
-        with clock.measure() as span:
-            self._transfer(sender, receiver, src_va, dst_va, nbytes,
-                           result)
+        with obs.span(f"msg.transfer.{self.name}", nbytes=nbytes):
+            with clock.measure() as span:
+                self._transfer(sender, receiver, src_va, dst_va, nbytes,
+                               result)
         result.sim_ns = span.elapsed_ns
         result.copies_bytes = (sender.copies_bytes
                                + receiver.copies_bytes - copies0)
@@ -99,6 +102,13 @@ class Protocol(abc.ABC):
                                        + receiver.cache.stats.retries
                                        - retries0)
         result.ok = not result.corrupt
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter(f"msg.transfers.{self.name}").inc()
+            metrics.counter("msg.bytes_transferred").inc(nbytes)
+            metrics.histogram("msg.transfer_ns").observe(result.sim_ns)
+            if result.corrupt:
+                metrics.counter("msg.transfers_corrupt").inc()
         return result
 
     # -- verification shared by protocols ------------------------------------
@@ -265,6 +275,7 @@ class RendezvousZeroCopyProtocol(Protocol):
         registration on the critical path).  The degrading side tells
         its peer with a CPY control message."""
         result.degraded = True
+        sender.machine.kernel.obs.inc("msg.transfers_degraded")
         result.notes.append(
             f"{side} registration failed ({exc.status}); "
             f"degraded to copy protocol")

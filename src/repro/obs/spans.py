@@ -1,0 +1,181 @@
+"""Sim-time spans: enter/exit pairs charged against the simulated clock.
+
+A span brackets a region of work ("one rendezvous transfer", "one
+reclaim run") and records how much *simulated* time elapsed inside it —
+the same timeline every cost in the simulator is charged to, so spans
+compose exactly with the benchmarks' sim-ns numbers.  Spans nest: the
+recorder keeps an enter stack, and each finished span remembers its
+depth and its parent, so an exported trace shows the doorbell write
+inside the transfer inside the barrier.
+
+Two export formats:
+
+* :meth:`SpanRecorder.to_chrome` — the Chrome trace-event format
+  (open ``chrome://tracing`` or https://ui.perfetto.dev and load the
+  JSON); complete events (``"ph": "X"``) with microsecond timestamps.
+* :meth:`SpanRecorder.to_jsonl` — one JSON object per line, for
+  ``jq``-style processing and the benchmark harness.
+
+Storage is a bounded ring like the event trace; evictions are counted
+in ``dropped`` so an exporter can say when the window is partial.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Iterator
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    depth: int                 #: nesting level at enter (0 = top level)
+    index: int                 #: creation order (stable tie-break)
+    parent: int | None = None  #: index of the enclosing span, if any
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by the JSONL export)."""
+        return {"name": self.name, "start_ns": self.start_ns,
+                "end_ns": self.end_ns, "duration_ns": self.duration_ns,
+                "depth": self.depth, "index": self.index,
+                "parent": self.parent, "args": self.args}
+
+
+class _OpenSpan:
+    """A span between enter and exit (internal)."""
+
+    __slots__ = ("name", "start_ns", "depth", "index", "parent", "args")
+
+    def __init__(self, name: str, start_ns: int, depth: int, index: int,
+                 parent: int | None, args: dict) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.depth = depth
+        self.index = index
+        self.parent = parent
+        self.args = args
+
+
+class SpanRecorder:
+    """Bounded store of finished :class:`SpanRecord`\\ s plus the enter
+    stack that makes them nest."""
+
+    def __init__(self, clock, maxlen: int = 65536) -> None:
+        self._clock = clock
+        self._spans: Deque[SpanRecord] = deque(maxlen=maxlen)
+        self._stack: list[_OpenSpan] = []
+        self._next_index = 0
+        self.dropped = 0          #: finished spans evicted by the ring
+
+    # -- recording ----------------------------------------------------------
+
+    def enter(self, name: str, **args) -> _OpenSpan:
+        """Open a span now; pair with :meth:`exit`."""
+        parent = self._stack[-1].index if self._stack else None
+        span = _OpenSpan(name, self._clock.now_ns, len(self._stack),
+                         self._next_index, parent, args)
+        self._next_index += 1
+        self._stack.append(span)
+        return span
+
+    def exit(self, span: _OpenSpan) -> SpanRecord:
+        """Close ``span`` (and any still-open children it encloses —
+        mismatched exits unwind like exceptions do)."""
+        while self._stack:
+            top = self._stack.pop()
+            record = self._finish(top)
+            if top is span:
+                return record
+        raise ValueError(f"span {span.name!r} is not open")
+
+    def _finish(self, span: _OpenSpan) -> SpanRecord:
+        record = SpanRecord(span.name, span.start_ns, self._clock.now_ns,
+                            span.depth, span.index, span.parent, span.args)
+        if len(self._spans) == self._spans.maxlen:
+            self.dropped += 1
+        self._spans.append(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, **args) -> Iterator[_OpenSpan]:
+        """Context-manager form of enter/exit."""
+        open_span = self.enter(name, **args)
+        try:
+            yield open_span
+        finally:
+            self.exit(open_span)
+
+    def reset(self) -> None:
+        """Drop all finished spans (open spans stay open)."""
+        self._spans.clear()
+        self.dropped = 0
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self._spans)
+
+    def of_name(self, name: str) -> list[SpanRecord]:
+        """All retained spans called ``name``."""
+        return [s for s in self._spans if s.name == name]
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def summary(self) -> dict:
+        """Per-name aggregate: count and total/mean sim-ns, plus ring
+        state — the piece :meth:`Observability.snapshot` embeds."""
+        by_name: dict[str, dict] = {}
+        for s in self._spans:
+            agg = by_name.setdefault(s.name, {"count": 0, "total_ns": 0})
+            agg["count"] += 1
+            agg["total_ns"] += s.duration_ns
+        for agg in by_name.values():
+            agg["mean_ns"] = agg["total_ns"] / agg["count"]
+        return {"recorded": len(self._spans), "dropped": self.dropped,
+                "open": len(self._stack),
+                "by_name": dict(sorted(by_name.items()))}
+
+    # -- exporters ----------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event JSON (complete events, µs timestamps).
+
+        All spans land on one pid/tid; the viewer nests them by
+        timestamp containment, which is exactly how they were recorded.
+        """
+        events = []
+        for s in self._spans:
+            events.append({
+                "name": s.name,
+                "ph": "X",
+                "ts": s.start_ns / 1000.0,
+                "dur": s.duration_ns / 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(s.args, depth=s.depth),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"clock": "sim-ns", "dropped": self.dropped}}
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, newline-separated."""
+        return "\n".join(json.dumps(s.to_dict(), sort_keys=True)
+                         for s in self._spans)

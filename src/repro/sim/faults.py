@@ -140,6 +140,19 @@ class FaultPlan:
             raise ValueError(
                 f"unknown crash point {self.crash_point!r}; "
                 f"choose one of {sorted(CRASH_POINTS)}")
+        # Signs: a negative delay would deliver packets in the past
+        # (breaking clock monotonicity); pids and deadlines are
+        # non-negative by construction everywhere else in the simulator.
+        if self.delay_ns < 0:
+            raise ValueError(
+                f"delay_ns must be >= 0, got {self.delay_ns} "
+                f"(a negative delay would move packets back in time)")
+        if self.crash_pid is not None and self.crash_pid < 0:
+            raise ValueError(
+                f"crash_pid must be >= 0, got {self.crash_pid}")
+        if self.nic_reset_at_ns is not None and self.nic_reset_at_ns < 0:
+            raise ValueError(
+                f"nic_reset_at_ns must be >= 0, got {self.nic_reset_at_ns}")
         self._rng = make_rng(self.seed)
         self._reset_fired = False
         self._crash_fired = False

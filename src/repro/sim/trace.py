@@ -4,13 +4,52 @@ A bounded ring buffer of structured events.  Subsystems emit events
 ("swap_out", "dma_write", "tpt_stale", ...) and tests/benchmarks assert on
 them — e.g. E1 verifies that the refcount backend's failure is caused by a
 ``swap_out`` of a registered page, not by some unrelated path.
+
+Two correctness properties the querying API guarantees:
+
+* **Eviction is visible.**  The ring drops the oldest event when full;
+  :meth:`Trace.dropped_count` says how many events of a kind were lost,
+  and in strict mode (``Trace(..., strict=True)`` or ``trace.strict =
+  True``) :meth:`Trace.of_kind`/:meth:`Trace.last` raise
+  :class:`TraceEvicted` instead of silently returning a partial view.
+  The default (non-strict) mode warns with :class:`TraceEvictionWarning`
+  once per kind.
+* **Details are immutable history.**  ``emit(frames=live_list)``
+  snapshots the detail mapping at emission time (the dict is copied, and
+  mutable container values — list/set/dict — are shallow-copied), so a
+  caller mutating its object later cannot rewrite what the trace says
+  happened at ``ts_ns``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Iterator
+
+from repro.errors import ReproError
+
+
+class TraceEvicted(ReproError):
+    """A strict-mode trace query touched a kind whose events were
+    (partly) evicted from the ring — the result would be a lie."""
+
+
+class TraceEvictionWarning(UserWarning):
+    """A non-strict trace query returned a partial view: events of the
+    queried kind were evicted from the ring."""
+
+
+def _snapshot_detail(detail: dict) -> dict:
+    """Copy a detail mapping so later caller-side mutation cannot
+    rewrite history; container values are shallow-copied."""
+    out = {}
+    for key, value in detail.items():
+        if type(value) in (list, set, dict):
+            value = value.copy()
+        out[key] = value
+    return out
 
 
 @dataclass(frozen=True)
@@ -33,17 +72,34 @@ class Trace:
     relative to simulation work).
     """
 
-    def __init__(self, clock, maxlen: int = 65536) -> None:
+    def __init__(self, clock, maxlen: int = 65536,
+                 strict: bool = False) -> None:
         self._clock = clock
         self._events: Deque[TraceEvent] = deque(maxlen=maxlen)
         self._counts: dict[str, int] = {}
+        self._dropped: dict[str, int] = {}
+        self._warned: set[str] = set()
         self.enabled = True
+        #: strict mode: queries raise :class:`TraceEvicted` instead of
+        #: warning when the queried kind lost events to ring eviction
+        self.strict = strict
 
     def emit(self, kind: str, **detail: Any) -> None:
-        """Record an event (no-op while disabled)."""
+        """Record an event (no-op while disabled).
+
+        The detail mapping is snapshotted: the dict and any list/set/dict
+        values are copied, so the event's history is immune to later
+        mutation of caller-owned objects.
+        """
         if not self.enabled:
             return
-        self._events.append(TraceEvent(self._clock.now_ns, kind, detail))
+        events = self._events
+        if len(events) == events.maxlen:
+            victim = events[0]
+            self._dropped[victim.kind] = \
+                self._dropped.get(victim.kind, 0) + 1
+        events.append(TraceEvent(self._clock.now_ns, kind,
+                                 _snapshot_detail(detail)))
         self._counts[kind] = self._counts.get(kind, 0) + 1
 
     # -- querying -----------------------------------------------------------
@@ -59,22 +115,65 @@ class Trace:
         eviction)."""
         return self._counts.get(kind, 0)
 
+    def dropped_count(self, kind: str) -> int:
+        """How many events of ``kind`` were evicted from the ring —
+        ``count(kind) - dropped_count(kind)`` is what queries can see."""
+        return self._dropped.get(kind, 0)
+
+    def _check_evicted(self, kind: str) -> None:
+        dropped = self._dropped.get(kind, 0)
+        if not dropped:
+            return
+        msg = (f"trace ring evicted {dropped} of {self.count(kind)} "
+               f"{kind!r} events; queries see a partial view "
+               f"(raise maxlen or clear() between phases)")
+        if self.strict:
+            raise TraceEvicted(msg)
+        if kind not in self._warned:
+            self._warned.add(kind)
+            warnings.warn(msg, TraceEvictionWarning, stacklevel=3)
+
     def of_kind(self, kind: str) -> list[TraceEvent]:
-        """All retained events of ``kind``."""
+        """All retained events of ``kind``.
+
+        If events of this kind were evicted, warns (once per kind) —
+        or raises :class:`TraceEvicted` in strict mode — because the
+        list is incomplete.
+        """
+        self._check_evicted(kind)
         return [e for e in self._events if e.kind == kind]
 
     def where(self, pred: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
-        """All retained events satisfying ``pred``."""
+        """All retained events satisfying ``pred`` (retained only: events
+        evicted from the ring are not consulted — check
+        :meth:`dropped_count` for the kinds you care about)."""
         return [e for e in self._events if pred(e)]
 
     def last(self, kind: str) -> TraceEvent | None:
-        """Most recent retained event of ``kind``, or None."""
+        """Most recent retained event of ``kind``, or None.
+
+        Subject to the same eviction check as :meth:`of_kind`: a strict
+        trace raises when earlier events of ``kind`` were evicted (the
+        *most recent* is retained, but "None" would be wrong if all were
+        evicted, so the check keeps both cases honest).
+        """
+        self._check_evicted(kind)
         for e in reversed(self._events):
             if e.kind == kind:
                 return e
         return None
 
     def clear(self) -> None:
-        """Drop retained events and counters."""
+        """Start a fresh observation window: drop retained events AND
+        reset the lifetime/eviction counters.
+
+        After ``clear()``, :meth:`count` and :meth:`dropped_count` both
+        report zero — the counters describe the window since the last
+        clear, not the trace's whole life.  Use this between experiment
+        phases so per-phase assertions are not polluted by setup events
+        (and so strict mode does not trip on pre-phase evictions).
+        """
         self._events.clear()
         self._counts.clear()
+        self._dropped.clear()
+        self._warned.clear()

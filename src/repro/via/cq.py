@@ -27,18 +27,26 @@ class Completion:
 class CompletionQueue:
     """FIFO of :class:`Completion` notifications."""
 
-    def __init__(self, depth: int = 1024) -> None:
+    def __init__(self, depth: int = 1024, obs=None) -> None:
         self.depth = depth
         self._items: Deque[Completion] = deque()
         self.overflows = 0
+        #: optional :class:`~repro.obs.Observability` (wired by
+        #: :meth:`UserAgent.create_cq`; standalone CQs stay unobserved)
+        self.obs = obs
 
     def post(self, completion: Completion) -> None:
         """NIC side: append a completion (drops + counts on overflow,
         like real hardware with a full CQ)."""
         if len(self._items) >= self.depth:
             self.overflows += 1
+            if self.obs is not None:
+                self.obs.inc("via.cq.overflows")
             return
         self._items.append(completion)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.gauge("via.cq.depth").set(len(self._items))
 
     def poll(self) -> Completion | None:
         """User side: pop the oldest completion, or None."""

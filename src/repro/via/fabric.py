@@ -176,7 +176,11 @@ class Fabric:
         """
         plan = self.fault_plan
         trace = src.kernel.trace
+        obs = src.kernel.obs
         self.packets_sent += 1
+        if obs.enabled:
+            obs.metrics.counter("via.fabric.packets_sent").inc()
+
         self._charge_wire(src, len(packet.payload))
 
         # Fast path: a healthy fabric (no fault plan, no legacy loss
@@ -188,6 +192,7 @@ class Fabric:
                     and payload_checksum(packet.payload)
                     != packet.checksum):
                 self.packets_nacked += 1
+                obs.inc("via.fabric.packets_nacked")
                 trace.emit("packet_nack", dst=packet.dst_nic,
                            vi=packet.dst_vi, seq=packet.seq)
                 if reliability == ReliabilityLevel.UNRELIABLE:
@@ -203,12 +208,14 @@ class Fabric:
             extra_ns = plan.delay()
             if extra_ns:
                 src.kernel.clock.charge(extra_ns, "wire")
+                obs.inc("via.fabric.packets_delayed")
                 trace.emit("packet_delayed", dst=packet.dst_nic,
                            vi=packet.dst_vi, seq=packet.seq,
                            extra_ns=extra_ns)
 
         if self._roll_drop():
             self.packets_dropped += 1
+            obs.inc("via.fabric.packets_dropped")
             trace.emit("packet_lost", dst=packet.dst_nic,
                        vi=packet.dst_vi, seq=packet.seq)
             return Attempt("dropped")
@@ -217,6 +224,7 @@ class Fabric:
         if plan is not None and plan.should_corrupt():
             wire_packet = replace(packet,
                                   payload=plan.corrupt(packet.payload))
+            obs.inc("via.fabric.packets_corrupted")
             trace.emit("packet_corrupted", dst=packet.dst_nic,
                        vi=packet.dst_vi, seq=packet.seq)
 
@@ -226,11 +234,13 @@ class Fabric:
                 and payload_checksum(wire_packet.payload)
                 != wire_packet.checksum):
             self.packets_nacked += 1
+            obs.inc("via.fabric.packets_nacked")
             trace.emit("packet_nack", dst=packet.dst_nic,
                        vi=packet.dst_vi, seq=packet.seq)
             if reliability == ReliabilityLevel.UNRELIABLE:
                 # unreliable links silently discard corrupt frames
                 self.packets_dropped += 1
+                obs.inc("via.fabric.packets_dropped")
                 return Attempt("dropped")
             return Attempt("nack")
 
@@ -238,6 +248,7 @@ class Fabric:
         status = dst.deliver(wire_packet, reliability)
 
         if plan is not None and plan.should_duplicate():
+            obs.inc("via.fabric.packets_duplicated")
             trace.emit("packet_duplicated", dst=packet.dst_nic,
                        vi=packet.dst_vi, seq=packet.seq)
             # RELIABLE receivers deduplicate on seq; UNRELIABLE VIs see
@@ -248,6 +259,7 @@ class Fabric:
             self.acks_sent += 1
             if self._roll_drop():
                 self.acks_dropped += 1
+                obs.inc("via.fabric.acks_dropped")
                 trace.emit("ack_lost", dst=packet.src_nic,
                            vi=packet.src_vi, seq=packet.seq)
                 return Attempt("ack_lost", status)
@@ -281,11 +293,15 @@ class Fabric:
         """
         plan = self.fault_plan
         trace = src.kernel.trace
+        obs = src.kernel.obs
         self.packets_sent += 2   # request + response
+        if obs.enabled:
+            obs.metrics.counter("via.fabric.packets_sent").inc(2)
         self._charge_wire(src, 0)
 
         if self._roll_drop():   # request lost
             self.packets_dropped += 1
+            obs.inc("via.fabric.packets_dropped")
             trace.emit("packet_lost", dst=packet.dst_nic,
                        vi=packet.dst_vi, seq=packet.seq, rdma="read_req")
             return Attempt("dropped"), b""
@@ -296,6 +312,7 @@ class Fabric:
 
         if status == VIP_SUCCESS and self._roll_drop():   # response lost
             self.packets_dropped += 1
+            obs.inc("via.fabric.packets_dropped")
             trace.emit("packet_lost", dst=packet.src_nic,
                        vi=packet.src_vi, seq=packet.seq, rdma="read_resp")
             return Attempt("dropped"), b""
@@ -305,6 +322,7 @@ class Fabric:
             trace.emit("packet_corrupted", dst=packet.src_nic,
                        vi=packet.src_vi, seq=packet.seq, rdma="read_resp")
             self.packets_nacked += 1
+            obs.inc("via.fabric.packets_nacked")
             return Attempt("nack"), b""
 
         return Attempt("delivered", status), payload

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
+from repro.obs import Observability
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Trace
@@ -35,11 +36,13 @@ class Machine:
                  clock: SimClock | None = None,
                  trace: Trace | None = None,
                  fabric: Fabric | None = None,
+                 obs: Observability | None = None,
                  min_free_pages: int = 8) -> None:
         self.name = name
         self.kernel = Kernel(num_frames=num_frames, swap_slots=swap_slots,
                              costs=costs, seed=seed, clock=clock,
-                             trace=trace, min_free_pages=min_free_pages)
+                             trace=trace, obs=obs,
+                             min_free_pages=min_free_pages)
         self.nic = VIANic(f"{name}.nic0", self.kernel,
                           tpt_entries=tpt_entries)
         self.agent = KernelAgent(self.kernel, self.nic, backend=backend)
@@ -50,6 +53,11 @@ class Machine:
     def backend(self) -> LockingBackend:
         """The machine's locking backend."""
         return self.agent.backend
+
+    @property
+    def obs(self) -> Observability:
+        """The machine's observability facade (possibly cluster-shared)."""
+        return self.kernel.obs
 
     def inject_faults(self, plan):
         """Wire a :class:`~repro.sim.faults.FaultPlan` (or None to
@@ -98,11 +106,13 @@ class Cluster:
                  min_free_pages: int = 8) -> None:
         self.clock = SimClock()
         self.trace = Trace(self.clock)
+        self.obs = Observability(self.clock)
         self.fabric = Fabric(seed=seed)
         self.machines: list[Machine] = []
         for i in range(n):
             # Each machine gets its own backend instance (driver state is
-            # per host) but shares the clock, trace, and fabric.
+            # per host) but shares the clock, trace, fabric, and
+            # observability (one metrics snapshot covers the cluster).
             from repro.via.locking import make_backend
             be = (make_backend(backend) if isinstance(backend, str)
                   else backend)
@@ -110,7 +120,7 @@ class Cluster:
                 name=f"m{i}", num_frames=num_frames, swap_slots=swap_slots,
                 costs=costs, seed=seed + i, backend=be,
                 tpt_entries=tpt_entries, clock=self.clock,
-                trace=self.trace, fabric=self.fabric,
+                trace=self.trace, fabric=self.fabric, obs=self.obs,
                 min_free_pages=min_free_pages))
 
     def inject_faults(self, plan):

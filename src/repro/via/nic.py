@@ -54,7 +54,8 @@ class VIANic:
         self.tpt = TranslationProtectionTable(
             tpt_entries, clock=kernel.clock, costs=kernel.costs)
         self.dma = DMAEngine(kernel.phys, kernel.clock, kernel.costs,
-                             kernel.trace, name=f"{name}-dma")
+                             kernel.trace, name=f"{name}-dma",
+                             obs=kernel.obs)
         self.vis: dict[int, VirtualInterface] = {}
         self.fabric: "Fabric | None" = None
         self.fault_plan: "FaultPlan | None" = None
@@ -149,6 +150,7 @@ class VIANic:
         SRAM and is flushed wholesale.
         """
         self.resets += 1
+        self.kernel.obs.inc("via.nic.resets")
         self.tpt.invalidate_translations()
         self.kernel.trace.emit("nic_reset", nic=self.name, reason=reason)
         for vi in self.vis.values():
@@ -178,6 +180,10 @@ class VIANic:
         desc.status = VIP_NOT_DONE
         desc.posted_at_ns = self.kernel.clock.now_ns
         vi.recv_queue.append(desc)
+        obs = self.kernel.obs
+        if obs.enabled:
+            obs.metrics.gauge("via.nic.recv_queue_depth").set(
+                len(vi.recv_queue))
 
     def post_send(self, vi_id: int, desc: Descriptor, pid: int) -> None:
         """Post a send/RDMA descriptor and process it immediately."""
@@ -194,7 +200,23 @@ class VIANic:
         desc.status = VIP_NOT_DONE
         desc.posted_at_ns = self.kernel.clock.now_ns
         vi.send_queue.append(desc)
+        obs = self.kernel.obs
+        if obs.enabled:
+            obs.metrics.gauge("via.nic.send_queue_depth").set(
+                len(vi.send_queue))
         self._process_send_queue(vi)
+
+    # ------------------------------------------------------------ observability
+
+    def _observe_completion(self, desc: Descriptor, queue: str) -> None:
+        """Record the doorbell→completion latency of a successfully
+        completed descriptor (callers guard on ``obs.enabled``)."""
+        obs = self.kernel.obs
+        if desc.posted_at_ns is not None:
+            obs.metrics.histogram(
+                "via.nic.doorbell_to_completion_ns").observe(
+                    self.kernel.clock.now_ns - desc.posted_at_ns)
+        obs.metrics.counter(f"via.nic.completions.{queue}").inc()
 
     # --------------------------------------------------------------- send processing
 
@@ -212,6 +234,7 @@ class VIANic:
         """Complete a send descriptor in error; break the connection for
         reliable modes (VIA spec: errors are connection-fatal there)."""
         self.protection_faults += 1
+        self.kernel.obs.inc("via.nic.protection_faults")
         desc.complete(status)
         vi.complete_send(desc)
         self.kernel.trace.emit("via_send_error", nic=self.name,
@@ -222,6 +245,7 @@ class VIANic:
     def _fail_send_dma(self, vi: VirtualInterface, desc: Descriptor) -> None:
         """Complete a send descriptor whose local DMA faulted."""
         self.dma_faults += 1
+        self.kernel.obs.inc("via.nic.dma_faults")
         desc.complete(VIP_ERROR_NIC)
         vi.complete_send(desc)
         self.kernel.trace.emit("via_dma_fault", nic=self.name,
@@ -245,10 +269,13 @@ class VIANic:
         clock = self.kernel.clock
         costs = self.kernel.costs
         trace = self.kernel.trace
+        obs = self.kernel.obs
         timeout_ns = costs.retransmit_timeout_ns
         for attempt in range(self.max_retransmits + 1):
             if attempt:
                 self.retransmits += 1
+                if obs.enabled:
+                    obs.metrics.counter("via.nic.retransmits").inc()
                 trace.emit("via_retransmit", nic=self.name, vi=vi.vi_id,
                            seq=packet.seq, attempt=attempt)
             outcome = self.fabric.attempt_delivery(self, packet,
@@ -259,6 +286,9 @@ class VIANic:
                 # No ACK arrived: wait out the retransmission timer,
                 # then back off exponentially (capped).
                 clock.charge(timeout_ns, "retransmit")
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "via.nic.backoff_wait_ns").inc(timeout_ns)
                 trace.emit("via_retransmit_timeout", nic=self.name,
                            vi=vi.vi_id, seq=packet.seq,
                            waited_ns=timeout_ns, cause=outcome.kind)
@@ -266,6 +296,7 @@ class VIANic:
                                  costs.retransmit_timeout_max_ns)
             # NACK (CRC failure): the receiver asked for an immediate
             # resend — no timer to wait for.
+        obs.inc("via.nic.conn_lost")
         trace.emit("via_conn_lost", nic=self.name, vi=vi.vi_id,
                    seq=packet.seq, retries=self.max_retransmits)
         return VIP_ERROR_CONN_LOST
@@ -308,6 +339,8 @@ class VIANic:
                 ReliabilityLevel.UNRELIABLE:
             desc.complete(VIP_SUCCESS, len(payload))
             vi.complete_send(desc)
+            if self.kernel.obs.enabled:
+                self._observe_completion(desc, "send")
             if desc.dtype == DescriptorType.SEND:
                 self.sends_completed += 1
             else:
@@ -345,6 +378,8 @@ class VIANic:
             return
         desc.complete(VIP_SUCCESS, len(payload))
         vi.complete_send(desc)
+        if self.kernel.obs.enabled:
+            self._observe_completion(desc, "send")
         self.rdma_reads_completed += 1
 
     def _fetch_rdma_read_reliable(self, vi: VirtualInterface,
@@ -355,10 +390,13 @@ class VIANic:
         clock = self.kernel.clock
         costs = self.kernel.costs
         trace = self.kernel.trace
+        obs = self.kernel.obs
         timeout_ns = costs.retransmit_timeout_ns
         for attempt in range(self.max_retransmits + 1):
             if attempt:
                 self.retransmits += 1
+                if obs.enabled:
+                    obs.metrics.counter("via.nic.retransmits").inc()
                 trace.emit("via_retransmit", nic=self.name, vi=vi.vi_id,
                            seq=packet.seq, attempt=attempt, rdma="read")
             outcome, payload = self.fabric.attempt_rdma_read(
@@ -367,11 +405,15 @@ class VIANic:
                 return outcome.status, payload
             if outcome.kind == "dropped":
                 clock.charge(timeout_ns, "retransmit")
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "via.nic.backoff_wait_ns").inc(timeout_ns)
                 trace.emit("via_retransmit_timeout", nic=self.name,
                            vi=vi.vi_id, seq=packet.seq,
                            waited_ns=timeout_ns, cause="dropped")
                 timeout_ns = min(int(timeout_ns * costs.retransmit_backoff),
                                  costs.retransmit_timeout_max_ns)
+        obs.inc("via.nic.conn_lost")
         trace.emit("via_conn_lost", nic=self.name, vi=vi.vi_id,
                    seq=packet.seq, retries=self.max_retransmits)
         return VIP_ERROR_CONN_LOST, b""
@@ -394,6 +436,7 @@ class VIANic:
         if reliability != ReliabilityLevel.UNRELIABLE and packet.seq:
             if packet.seq <= vi.rx_seq:
                 self.duplicates_dropped += 1
+                self.kernel.obs.inc("via.nic.duplicates_dropped")
                 self.kernel.trace.emit("via_duplicate", nic=self.name,
                                        vi=vi.vi_id, seq=packet.seq)
                 return VIP_SUCCESS
@@ -418,6 +461,7 @@ class VIANic:
             # sender's data arrives."  Unreliable: silent drop.
             # Reliable: the connection is broken.
             self.recv_drops += 1
+            self.kernel.obs.inc("via.nic.recv_drops")
             self.kernel.trace.emit("via_recv_drop", nic=self.name,
                                    vi=vi.vi_id)
             if reliability == ReliabilityLevel.UNRELIABLE:
@@ -460,6 +504,8 @@ class VIANic:
         self.kernel.clock.charge(self.kernel.costs.completion_post_ns,
                                  "via_nic")
         vi.complete_recv(desc)
+        if self.kernel.obs.enabled:
+            self._observe_completion(desc, "recv")
         self.recvs_completed += 1
         return VIP_SUCCESS
 

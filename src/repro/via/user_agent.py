@@ -53,8 +53,9 @@ class UserAgent:
     # ----------------------------------------------------------------- VIs/CQs
 
     def create_cq(self, depth: int = 1024) -> CompletionQueue:
-        """``VipCreateCQ``."""
-        return CompletionQueue(depth)
+        """``VipCreateCQ`` (the CQ reports depth/overflow metrics to the
+        kernel's observability when it is enabled)."""
+        return CompletionQueue(depth, obs=self.agent.kernel.obs)
 
     def create_vi(self, reliability: ReliabilityLevel =
                   ReliabilityLevel.RELIABLE_DELIVERY,

@@ -114,3 +114,48 @@ class TestEviction:
         cache.acquire(va + PAGE_SIZE, PAGE_SIZE)   # still in use
         assert cache.flush() == 1
         assert cache.cached_regions == 1
+
+
+class TestIndexIdentity:
+    """Regression: ``_index_remove`` used ``list.remove``, which matches
+    by dataclass ``__eq__`` — evicting one of two equal-comparing entries
+    could delete the *other* from the interval index, leaving the index
+    pointing at a deregistered entry."""
+
+    def test_index_remove_is_by_identity(self, setup):
+        from repro.core.regcache import CacheEntry
+        m, t, cache, va = setup
+        reg = m.agent.register_memory(t, va, PAGE_SIZE)
+        # Two distinct entries with identical field values: dataclass
+        # __eq__ says equal, identity says no.
+        a = CacheEntry(registration=reg)
+        b = CacheEntry(registration=reg)
+        assert a == b and a is not b
+        cache._index_add(a)
+        cache._index_add(b)
+        cache._index_remove(b)
+        bucket = cache._page_index[va // PAGE_SIZE]
+        assert len(bucket) == 1
+        assert bucket[0] is a, "removed the wrong (equal-comparing) entry"
+        cache._index_remove(a)
+        assert va // PAGE_SIZE not in cache._page_index
+        m.agent.deregister_memory(reg.handle)
+
+    def test_rdma_variant_does_not_shadow_plain_entry(self, setup):
+        """Regression: the cache key omitted the RDMA enables, so
+        registering the same range twice (plain, then rdma_write) made
+        the second insert overwrite the first in ``_entries`` while both
+        stayed in the page index — the plain registration leaked (never
+        deregistered, pages pinned forever)."""
+        m, t, cache, va = setup
+        r_plain = cache.acquire(va, PAGE_SIZE)
+        cache.release(va, PAGE_SIZE)
+        r_rdma = cache.acquire(va, PAGE_SIZE, rdma_write=True)
+        cache.release(va, PAGE_SIZE)
+        assert r_plain is not r_rdma
+        assert cache.cached_regions == 2          # no shadowing
+        # Both registrations deregister cleanly: nothing leaked.
+        assert cache.flush() == 2
+        assert cache.cached_regions == 0
+        assert cache.cached_pages == 0
+        assert not cache._page_index

@@ -40,6 +40,24 @@ class TestFaultPlanDecisions:
         with pytest.raises(ValueError):
             FaultPlan(corrupt_rate=-0.1)
 
+    def test_negative_delay_ns_rejected(self):
+        """Regression: ``__post_init__`` validated the rates but not
+        ``delay_ns`` — a negative delay moved packets back in time."""
+        with pytest.raises(ValueError, match="delay_ns"):
+            FaultPlan(delay_ns=-1)
+        assert FaultPlan(delay_ns=0).delay_ns == 0
+
+    def test_negative_crash_pid_rejected(self):
+        with pytest.raises(ValueError, match="crash_pid"):
+            FaultPlan(crash_pid=-5)
+        assert FaultPlan(crash_pid=None).crash_pid is None
+        assert FaultPlan(crash_pid=0).crash_pid == 0
+
+    def test_negative_nic_reset_at_ns_rejected(self):
+        with pytest.raises(ValueError, match="nic_reset_at_ns"):
+            FaultPlan(nic_reset_at_ns=-100)
+        assert FaultPlan(nic_reset_at_ns=0).nic_reset_at_ns == 0
+
     def test_corrupt_flips_exactly_one_byte(self):
         plan = FaultPlan(seed=3)
         payload = bytes(range(64))

@@ -1,7 +1,11 @@
 """Tests for the trace ring buffer."""
 
+import warnings
+
+import pytest
+
 from repro.sim.clock import SimClock
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceEvicted, TraceEvictionWarning
 
 
 def make() -> tuple[SimClock, Trace]:
@@ -63,3 +67,102 @@ class TestTrace:
         t.clear()
         assert len(t) == 0
         assert t.count("x") == 0
+
+
+class TestEvictionVisibility:
+    """Regression: ring eviction used to be silent — ``of_kind`` would
+    return a partial list with nothing to tell it apart from a full one."""
+
+    def test_dropped_count_tracks_evictions_per_kind(self):
+        _, t = make()
+        for i in range(12):
+            t.emit("x", i=i)
+        t.emit("y")
+        # maxlen=8: 13 emits → 5 evictions, all of kind "x".
+        assert t.dropped_count("x") == 5
+        assert t.dropped_count("y") == 0
+        assert t.count("x") - t.dropped_count("x") == \
+            len([e for e in t if e.kind == "x"])
+
+    def test_of_kind_warns_once_per_kind_on_partial_view(self):
+        _, t = make()
+        for i in range(20):
+            t.emit("x", i=i)
+        with pytest.warns(TraceEvictionWarning, match="evicted 12 of 20"):
+            events = t.of_kind("x")
+        assert len(events) == 8
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # second query: no re-warn
+            t.of_kind("x")
+
+    def test_last_also_checks_eviction(self):
+        _, t = make()
+        for i in range(20):
+            t.emit("x", i=i)
+        with pytest.warns(TraceEvictionWarning):
+            ev = t.last("x")
+        assert ev is not None and ev["i"] == 19
+
+    def test_strict_mode_raises_instead_of_warning(self):
+        clock = SimClock()
+        t = Trace(clock, maxlen=4, strict=True)
+        for i in range(6):
+            t.emit("x", i=i)
+        with pytest.raises(TraceEvicted):
+            t.of_kind("x")
+        with pytest.raises(TraceEvicted):
+            t.last("x")
+        # Unevicted kinds stay queryable.
+        t.emit("y")
+        assert t.of_kind("y")
+
+    def test_unaffected_kind_does_not_warn(self):
+        _, t = make()
+        for i in range(20):
+            t.emit("x", i=i)
+        t.emit("y")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(t.of_kind("y")) == 1
+
+    def test_clear_resets_eviction_state(self):
+        _, t = make()
+        for i in range(20):
+            t.emit("x", i=i)
+        t.clear()
+        assert t.dropped_count("x") == 0
+        t.emit("x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # warn-once memory also reset
+            assert len(t.of_kind("x")) == 1
+
+
+class TestDetailSnapshot:
+    """Regression: ``TraceEvent.detail`` used to alias caller-owned
+    mutables — mutating the list after ``emit`` rewrote history."""
+
+    def test_dict_mutation_after_emit_is_invisible(self):
+        _, t = make()
+        detail_frames = [1, 2, 3]
+        t.emit("swap", frames=detail_frames, pid=9)
+        detail_frames.append(4)
+        ev = t.last("swap")
+        assert ev["frames"] == [1, 2, 3]
+
+    def test_set_and_dict_values_are_copied(self):
+        _, t = make()
+        pins = {10, 11}
+        owners = {"a": 1}
+        t.emit("pin", pins=pins, owners=owners)
+        pins.add(12)
+        owners["b"] = 2
+        ev = t.last("pin")
+        assert ev["pins"] == {10, 11}
+        assert ev["owners"] == {"a": 1}
+
+    def test_scalars_and_unknown_types_pass_through(self):
+        _, t = make()
+        marker = object()
+        t.emit("k", n=3, s="x", o=marker)
+        ev = t.last("k")
+        assert ev["n"] == 3 and ev["s"] == "x" and ev["o"] is marker
