@@ -2,13 +2,25 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-quick tables examples all clean
+.PHONY: install test lint sanitize bench bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Static analysis: the repo-invariant AST linter, plus mypy when it is
+# installed (CI always installs it; local runs degrade gracefully).
+lint:
+	$(PY) tools/repro_lint.py
+	@$(PY) -c "import mypy" 2>/dev/null \
+		&& $(PY) -m mypy \
+		|| echo "mypy not installed; skipping type check"
+
+# The whole suite with the pin sanitizer armed strict on every kernel.
+sanitize:
+	REPRO_SANITIZE=strict $(PY) -m pytest tests/
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

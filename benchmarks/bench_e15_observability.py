@@ -20,6 +20,7 @@ import json
 import os
 import time
 
+from repro.analysis.sanitizer import PinSanitizer
 from repro.bench.harness import print_table, record
 from repro.msg.endpoint import make_pair
 from repro.msg.protocols import RendezvousZeroCopyProtocol
@@ -60,6 +61,10 @@ def test_e15_snapshot_populated(report):
     """Enabled observability captures regcache/DMA/fabric/NIC activity."""
     cluster, s, r, src, dst = build_pair()
     cluster.obs.enable()
+    # The pin sanitizer rides along: its event/violation gauges fold
+    # into the same snapshot, so BENCH.json records the clean bill of
+    # health next to the performance numbers.
+    san = PinSanitizer(strict=True).arm(cluster)
     proto = RendezvousZeroCopyProtocol(use_cache=True)
 
     # Healthy phase: populates cache hit rate, DMA bursts, latencies.
@@ -86,6 +91,11 @@ def test_e15_snapshot_populated(report):
     assert latency["count"] > 0 and latency["sum"] > 0
     assert snap["spans"]["by_name"], "transfer spans must be recorded"
 
+    san_events = metrics["analysis.san.events_observed"]["value"]
+    assert san_events > 0, "sanitizer must have observed the workload"
+    assert metrics["analysis.san.violations_total"]["value"] == 0
+    san.disarm()
+
     record("metrics", "E15 observability snapshot", metrics=metrics,
            spans=snap["spans"])
     if report("E15a: enabled-observability snapshot"):
@@ -98,7 +108,9 @@ def test_e15_snapshot_populated(report):
              ["via.nic.retransmits", retransmits],
              ["via.fabric.packets_dropped",
               metrics["via.fabric.packets_dropped"]],
-             ["doorbell→completion mean ns", f"{latency['mean']:.0f}"]])
+             ["doorbell→completion mean ns", f"{latency['mean']:.0f}"],
+             ["analysis.san.events_observed", san_events],
+             ["analysis.san.violations_total", 0]])
 
     # Chrome trace export: must round-trip through json and is written
     # out for the CI artifact when REPRO_BENCH_TRACE names a path.

@@ -1,0 +1,30 @@
+"""Correctness tooling: the pin-safety sanitizer and the repo linter.
+
+The paper's claim is that pinning is only *reliable* when the kernel can
+prove invariants the driver cannot.  This package is the mechanical
+check of those invariants:
+
+* :mod:`repro.analysis.events` — a structured event stream (pin/unpin,
+  mlock/munlock, DMA windows, swap traffic, TPT lifecycle, registration
+  lifecycle, process exit) emitted by the locking backends, the DMA
+  engines, the reclaim path, and the Kernel Agent.
+* :mod:`repro.analysis.sanitizer` — :class:`PinSanitizer`, a
+  TSAN/lockdep analog that subscribes to that stream and maintains
+  per-frame/per-range state machines detecting typed violations, each
+  with a happens-before event trail.
+* :mod:`repro.analysis.lint` — ``repro-lint``, an AST checker enforcing
+  the repo's own coding invariants (no swallowed control-flow
+  exceptions, no wall-clock time or unseeded randomness, guarded
+  observability hot paths, audited kernel-state mutation, validated
+  fault-plan knobs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.events import EVENT_KINDS, EventHub, SanEvent
+from repro.analysis.sanitizer import CHECKS, PinSanitizer, Violation
+
+__all__ = [
+    "EVENT_KINDS", "EventHub", "SanEvent",
+    "CHECKS", "PinSanitizer", "Violation",
+]

@@ -1,0 +1,493 @@
+"""repro-lint: AST checks for the repo's own invariants.
+
+A conventional linter checks style; this one checks the handful of
+*semantic* conventions this codebase depends on for correctness, the
+kind a reviewer has to re-derive on every PR:
+
+``broad-except``
+    A ``try`` with a bare ``except:`` / ``except Exception:`` handler
+    must not swallow :class:`~repro.errors.ProcessKilled` (a crash
+    point firing mid-operation) — the handler must either re-raise
+    (contain a bare ``raise``, or re-raise its bound exception), or be
+    preceded by an ``except ProcessKilled: raise`` /
+    ``except KernelError: raise`` handler in the same ``try``.
+
+``wall-clock``
+    Nothing in ``src/repro`` may read the host's wall clock or draw
+    unseeded randomness: all time comes from the
+    :class:`~repro.sim.clock.SimClock` and all randomness from
+    :mod:`repro.sim.rng` (the one audited seeding point, which is
+    exempt).  A single ``time.time()`` makes every run unreproducible.
+
+``obs-unguarded``
+    Direct metrics-registry access (``obs.metrics.counter(...)`` and
+    friends) records even while observability is *disabled* and pays
+    full cost on the hot path, so it must sit under an
+    ``if ....enabled:`` guard.  The :class:`~repro.obs.Observability`
+    facade methods (``obs.inc`` …) self-guard and are always fine.
+
+``kernel-mutation``
+    Layers above the kernel (``repro/via``, ``repro/msg``,
+    ``repro/mpi``) must mutate kernel page state only through audited
+    kernel entry points (``map_user_kiobuf``, ``do_mlock`` …), never by
+    poking page descriptors or page tables directly.  The historical
+    backends the paper critiques do exactly that — on purpose — and
+    carry ``allow(kernel-mutation)`` pragmas saying so.
+
+``faultplan-validation``
+    Every public knob of :class:`~repro.sim.faults.FaultPlan` must be
+    validated in ``__post_init__``: a typo'd or out-of-range fault plan
+    must fail at construction, not half-way through a chaos run.
+
+Findings on a line carrying ``# repro-lint: allow(<rule>, ...)`` (or
+whose preceding line carries it) are suppressed; rules can also be
+enabled/disabled wholesale per :class:`Linter`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+#: Every rule this linter knows, with a one-line summary.
+RULES: dict[str, str] = {
+    "broad-except":
+        "broad except handler may swallow ProcessKilled/KernelError",
+    "wall-clock":
+        "wall-clock time or unseeded randomness breaks reproducibility",
+    "obs-unguarded":
+        "metrics-registry access outside an `if ....enabled:` guard",
+    "kernel-mutation":
+        "kernel page state mutated above the kernel layer",
+    "faultplan-validation":
+        "FaultPlan knob not validated in __post_init__",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\(([^)]*)\)")
+
+#: Catching one of these (with a re-raise) before a broad handler
+#: protects it: ProcessKilled can no longer reach the broad arm.
+_KILL_SAFE = frozenset({"ProcessKilled", "KernelError"})
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Wall-clock / entropy calls, by resolved dotted name.
+_WALL_CLOCK_EXACT = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+_WALL_CLOCK_PREFIXES = ("random.", "numpy.random.", "secrets.")
+#: The audited seeding point — the one module allowed to construct RNGs.
+_WALL_CLOCK_EXEMPT_FILES = ("repro/sim/rng.py",)
+
+#: Path prefixes (posix, relative to the scan root) of the layers that
+#: sit above the kernel and must use its audited entry points.
+_ABOVE_KERNEL_LAYERS = ("repro/via/", "repro/msg/", "repro/mpi/")
+#: Page/PTE state attributes those layers must never assign directly.
+_KERNEL_STATE_ATTRS = frozenset({
+    "pin_count", "count", "present", "frame", "swapped", "swap_slot",
+    "flags", "reserved", "mapping",
+})
+#: Page/pagemap mutator methods those layers must never call directly.
+_KERNEL_MUTATOR_METHODS = frozenset({
+    "pin", "unpin", "get_page", "put_page", "set_flag", "clear_flag",
+})
+
+#: The observability implementation itself (guards internally).
+_OBS_EXEMPT_PREFIX = "repro/obs/"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str    #: file the finding is in (as given to the linter)
+    line: int    #: 1-based line
+    col: int     #: 0-based column
+    rule: str    #: rule name (a :data:`RULES` key)
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: rule: message`` — one line per finding."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+
+
+def _last_name(node: ast.expr | None) -> str | None:
+    """The final identifier of a Name/Attribute chain (else None)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _exc_names(node: ast.expr | None) -> set[str]:
+    """The exception class names a handler catches (last segments)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        return {n for e in node.elts if (n := _last_name(e))}
+    name = _last_name(node)
+    return {name} if name else set()
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise (bare ``raise``, or ``raise e``
+    of its own bound name)?  Nested defs don't count — a ``raise``
+    inside a closure does not unwind this handler."""
+    bound = handler.name
+
+    def walk(nodes: Iterable[ast.stmt]) -> bool:
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if isinstance(node, ast.Raise):
+                    if node.exc is None:
+                        return True
+                    if (bound and isinstance(node.exc, ast.Name)
+                            and node.exc.id == bound
+                            and node.cause is None):
+                        return True
+        return False
+
+    return walk(handler.body)
+
+
+def _contains_enabled(node: ast.expr) -> bool:
+    """Does the expression read some ``....enabled`` attribute?"""
+    return any(isinstance(n, ast.Attribute) and n.attr == "enabled"
+               for n in ast.walk(node))
+
+
+class Linter:
+    """The repro-lint engine: parse, visit, report.
+
+    ``rules`` selects which checks run (default: all of
+    :data:`RULES`); unknown names raise :class:`ValueError` so a CI
+    config typo cannot silently disable a check.
+    """
+
+    def __init__(self, rules: Iterable[str] | None = None) -> None:
+        selected = frozenset(rules) if rules is not None \
+            else frozenset(RULES)
+        unknown = selected - frozenset(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule(s) {sorted(unknown)}; "
+                f"known: {sorted(RULES)}")
+        self.rules = selected
+
+    # ------------------------------------------------------------ entry points
+
+    def check_source(self, source: str, path: str = "<string>",
+                     relpath: str | None = None) -> list[LintFinding]:
+        """Lint one source string.
+
+        ``relpath`` is the file's posix path relative to the scan root
+        (e.g. ``repro/via/nic.py``); path-scoped rules (wall-clock
+        exemption, layer scoping) key off it.  A syntax error is itself
+        reported as a finding rather than raised, so one broken file
+        cannot hide the rest of a tree scan.
+        """
+        rel = relpath if relpath is not None else path
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [LintFinding(path, exc.lineno or 1, exc.offset or 0,
+                                "broad-except",
+                                f"file does not parse: {exc.msg}")]
+        allowed = self._pragmas(source)
+        findings: list[LintFinding] = []
+        if "broad-except" in self.rules:
+            findings += self._check_broad_except(tree, path)
+        if "wall-clock" in self.rules \
+                and not rel.endswith(_WALL_CLOCK_EXEMPT_FILES):
+            findings += self._check_wall_clock(tree, path)
+        if "obs-unguarded" in self.rules \
+                and not rel.startswith(_OBS_EXEMPT_PREFIX):
+            findings += self._check_obs_unguarded(tree, path)
+        if "kernel-mutation" in self.rules \
+                and rel.startswith(_ABOVE_KERNEL_LAYERS):
+            findings += self._check_kernel_mutation(tree, path)
+        if "faultplan-validation" in self.rules:
+            findings += self._check_faultplan(tree, path)
+        findings = [f for f in findings
+                    if f.rule not in allowed.get(f.line, ())
+                    and f.rule not in allowed.get(f.line - 1, ())]
+        return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+    def check_file(self, path: str | Path,
+                   root: str | Path | None = None) -> list[LintFinding]:
+        """Lint one file; ``root`` anchors path-scoped rules."""
+        path = Path(path)
+        rel = (path.relative_to(root).as_posix() if root is not None
+               else path.as_posix())
+        return self.check_source(path.read_text(), str(path), rel)
+
+    def check_tree(self, root: str | Path) -> list[LintFinding]:
+        """Lint every ``*.py`` under ``root`` (sorted, deterministic).
+
+        Path-scoped rules treat ``root``'s *parent* as the scan root
+        when ``root`` itself is the ``repro`` package directory, so
+        ``check_tree("src/repro")`` and ``check_tree("src")`` agree.
+        """
+        root = Path(root)
+        anchor = root.parent if root.name == "repro" else root
+        findings: list[LintFinding] = []
+        for path in sorted(root.rglob("*.py")):
+            findings += self.check_file(path, anchor)
+        return findings
+
+    # --------------------------------------------------------------- pragmas
+
+    @staticmethod
+    def _pragmas(source: str) -> dict[int, frozenset[str]]:
+        """Per-line suppressions from ``# repro-lint: allow(...)``."""
+        allowed: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                names = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+                allowed[lineno] = names
+        return allowed
+
+    # ----------------------------------------------------------------- rules
+
+    @staticmethod
+    def _check_broad_except(tree: ast.AST,
+                            path: str) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            protected = False
+            for handler in node.handlers:
+                names = _exc_names(handler.type)
+                broad = handler.type is None or (names & _BROAD)
+                if not broad:
+                    if (names & _KILL_SAFE) and _reraises(handler):
+                        protected = True
+                    continue
+                if protected or _reraises(handler):
+                    continue
+                caught = ("bare except" if handler.type is None
+                          else f"except {'/'.join(sorted(names & _BROAD))}")
+                findings.append(LintFinding(
+                    path, handler.lineno, handler.col_offset,
+                    "broad-except",
+                    f"{caught} swallows ProcessKilled/KernelError; "
+                    f"re-raise, or precede with "
+                    f"`except ProcessKilled: raise`"))
+        return findings
+
+    @staticmethod
+    def _import_aliases(tree: ast.AST) -> dict[str, str]:
+        """Local name → dotted origin, from import statements."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.asname:
+                        aliases[a.asname] = a.name
+                    else:
+                        # `import a.b` binds `a` (to package `a`).
+                        head = a.name.split(".")[0]
+                        aliases[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for a in node.names:
+                    aliases[a.asname or a.name] = \
+                        f"{node.module}.{a.name}"
+        return aliases
+
+    @classmethod
+    def _resolve_call(cls, func: ast.expr,
+                      aliases: dict[str, str]) -> str | None:
+        """The dotted origin of a call target, through import aliases."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = aliases.get(node.id, node.id)
+        return ".".join([head, *reversed(parts)])
+
+    @classmethod
+    def _check_wall_clock(cls, tree: ast.AST,
+                          path: str) -> list[LintFinding]:
+        aliases = cls._import_aliases(tree)
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = cls._resolve_call(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK_EXACT \
+                    or dotted.startswith(_WALL_CLOCK_PREFIXES):
+                findings.append(LintFinding(
+                    path, node.lineno, node.col_offset, "wall-clock",
+                    f"`{dotted}` is nondeterministic; use the SimClock "
+                    f"or repro.sim.rng"))
+        return findings
+
+    @staticmethod
+    def _check_obs_unguarded(tree: ast.AST,
+                             path: str) -> list[LintFinding]:
+        # Annotate parents so guards can be found lexically.
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("counter", "gauge", "histogram")
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "metrics"):
+                continue
+            # Guarded if any lexical ancestor `if` tests `....enabled`…
+            guarded = False
+            ancestor = getattr(node, "_lint_parent", None)
+            func_scope = None
+            while ancestor is not None:
+                if isinstance(ancestor, ast.If) \
+                        and _contains_enabled(ancestor.test):
+                    guarded = True
+                    break
+                if func_scope is None and isinstance(
+                        ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    func_scope = ancestor
+                ancestor = getattr(ancestor, "_lint_parent", None)
+            # …or the enclosing function bailed out early on `.enabled`.
+            if not guarded and func_scope is not None:
+                for stmt in func_scope.body:
+                    if stmt.lineno >= node.lineno:
+                        break
+                    if isinstance(stmt, ast.If) \
+                            and _contains_enabled(stmt.test) \
+                            and stmt.body and isinstance(
+                                stmt.body[-1],
+                                (ast.Return, ast.Continue, ast.Raise)):
+                        guarded = True
+                        break
+            if not guarded:
+                findings.append(LintFinding(
+                    path, node.lineno, node.col_offset, "obs-unguarded",
+                    f"direct registry access "
+                    f"`.metrics.{node.func.attr}(...)` records even "
+                    f"while disabled; guard with `if ....enabled:` or "
+                    f"use the self-guarding facade"))
+        return findings
+
+    @staticmethod
+    def _check_kernel_mutation(tree: ast.AST,
+                               path: str) -> list[LintFinding]:
+        findings = []
+
+        def is_self(expr: ast.expr) -> bool:
+            node = expr
+            while isinstance(node, ast.Attribute):
+                node = node.value
+            return isinstance(node, ast.Name) and node.id == "self"
+
+        for node in ast.walk(tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr in _KERNEL_STATE_ATTRS \
+                        and not is_self(target.value):
+                    findings.append(LintFinding(
+                        path, target.lineno, target.col_offset,
+                        "kernel-mutation",
+                        f"direct assignment to `.{target.attr}` of a "
+                        f"kernel object; go through an audited kernel "
+                        f"entry point"))
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _KERNEL_MUTATOR_METHODS \
+                    and not is_self(node.func.value):
+                findings.append(LintFinding(
+                    path, node.lineno, node.col_offset,
+                    "kernel-mutation",
+                    f"direct call to kernel mutator "
+                    f"`.{node.func.attr}()`; go through an audited "
+                    f"kernel entry point"))
+        return findings
+
+    @staticmethod
+    def _check_faultplan(tree: ast.AST, path: str) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and node.name == "FaultPlan"):
+                continue
+            fields: list[tuple[str, int, int]] = []
+            post: ast.FunctionDef | None = None
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id
+                    if not name.startswith("_") and name != "stats":
+                        fields.append((name, stmt.lineno,
+                                       stmt.col_offset))
+                elif isinstance(stmt, ast.FunctionDef) \
+                        and stmt.name == "__post_init__":
+                    post = stmt
+            if post is None:
+                if fields:
+                    findings.append(LintFinding(
+                        path, node.lineno, node.col_offset,
+                        "faultplan-validation",
+                        "FaultPlan has knobs but no __post_init__ "
+                        "validating them"))
+                continue
+            # A knob counts as validated if __post_init__ reads it —
+            # directly as `self.<knob>` or by name through getattr
+            # (the string literal appears).
+            seen: set[str] = set()
+            for sub in ast.walk(post):
+                if isinstance(sub, ast.Attribute) \
+                        and isinstance(sub.value, ast.Name) \
+                        and sub.value.id == "self":
+                    seen.add(sub.attr)
+                elif isinstance(sub, ast.Constant) \
+                        and isinstance(sub.value, str):
+                    seen.add(sub.value)
+            for name, lineno, col in fields:
+                if name not in seen:
+                    findings.append(LintFinding(
+                        path, lineno, col, "faultplan-validation",
+                        f"FaultPlan knob `{name}` is never validated "
+                        f"in __post_init__"))
+        return findings
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint files and/or trees; the one-call API the CLI and tests use."""
+    linter = Linter(rules)
+    findings: list[LintFinding] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            findings += linter.check_tree(path)
+        else:
+            findings += linter.check_file(path, path.parent)
+    return findings

@@ -1,0 +1,509 @@
+"""PinSanitizer — a lockdep/TSAN analog for pinned communication memory.
+
+The sanitizer subscribes to one or more kernels'
+:class:`~repro.analysis.events.EventHub` streams and maintains per-frame
+and per-range state machines that mechanically check the orderings the
+paper's locking mechanisms exist to guarantee.  The violation catalog:
+
+``dma-unpinned-frame``
+    a frame's pin count reached zero while a DMA window on it was open —
+    the NP-RDMA / page-fault-during-RDMA hazard.
+``dma-swapped-frame``
+    a frame was stolen by ``swap_out`` while inside an open DMA window.
+``mlock-nesting``
+    a ``munlock`` annulled a range still covered by a live mlock-family
+    registration — the §3.2 non-nesting bug, detected from the event
+    stream instead of asserted by a test.
+``pin-underflow``
+    an unpin with no matching pin outstanding (double release).
+``tpt-use-after-invalidate``
+    a translation served through a handle after its region was removed.
+``registration-leak``
+    a process exited through the *clean* teardown path with live
+    registrations left behind.
+``swap-registered``
+    a registered page was swapped out — the §3.1 locktest failure
+    signature (only the deliberately broken refcount backend lets the
+    reclaim path do this).
+
+Each violation carries a happens-before trail: the recent events that
+share a frame, pid, or handle with the trigger, in emission order.
+
+Usage mirrors the :class:`~repro.core.audit.InvariantWatchdog`::
+
+    san = PinSanitizer(strict=True).arm(machine)     # or cluster/kernel
+    ... workload ...
+    san.disarm()
+    assert not san.violations
+
+In *strict* mode a violation raises
+:class:`~repro.errors.SanitizerViolation` at the offending operation;
+otherwise violations accumulate on :attr:`PinSanitizer.violations`.
+Individual checks can be suppressed, and :meth:`expect` captures
+violations a chaos test *wants* to happen without raising.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.analysis import events as ev
+from repro.analysis.events import EventHub, SanEvent
+from repro.errors import SanitizerViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.obs import Observability
+
+#: Every check the sanitizer can report, in catalog order.
+CHECKS: tuple[str, ...] = (
+    "dma-unpinned-frame",
+    "dma-swapped-frame",
+    "mlock-nesting",
+    "pin-underflow",
+    "tpt-use-after-invalidate",
+    "registration-leak",
+    "swap-registered",
+)
+
+#: Backends whose registrations are guarded by VM_LOCKED, and therefore
+#: annulled by any munlock over their range (§3.2).
+MLOCK_BACKENDS: frozenset[str] = frozenset({"mlock", "mlock_naive"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected ordering violation."""
+
+    check: str                      #: entry of :data:`CHECKS`
+    host: str                       #: machine the trigger came from
+    message: str
+    event: SanEvent                 #: the triggering event
+    trail: tuple[SanEvent, ...]     #: happens-before context (trigger last)
+
+    def format(self) -> str:
+        """Human-readable report: message plus the event trail."""
+        lines = [f"[{self.check}] on {self.host}: {self.message}"]
+        for e in self.trail:
+            marker = "=>" if e is self.event else "  "
+            fields = " ".join(f"{k}={v!r}" for k, v in sorted(
+                e.fields.items()))
+            lines.append(f"  {marker} t={e.ts_ns} {e.kind} {fields}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Registration:
+    """Sanitizer-side shadow of one driver registration."""
+
+    handle: int
+    pid: int
+    frames: tuple[int, ...]
+    backend: str
+    first_vpn: int
+    end_vpn: int
+
+
+@dataclass
+class _Expectation:
+    checks: frozenset[str]
+    captured: list[Violation] = field(default_factory=list)
+
+
+class PinSanitizer:
+    """Event-stream checker for the pin-safety violation catalog."""
+
+    def __init__(self, *, strict: bool = False,
+                 suppress: Iterable[str] = (),
+                 trail_maxlen: int = 256,
+                 trail_report: int = 32) -> None:
+        self.strict = strict
+        self.suppressed: set[str] = set()
+        for check in suppress:
+            self.suppress(check)
+        self.violations: list[Violation] = []
+        self.events_seen = 0
+        self.armed = False
+        self._trail_maxlen = trail_maxlen
+        self._trail_report = trail_report
+        self._ring: list[tuple[Any, SanEvent]] = []
+        self._expectations: list[_Expectation] = []
+        self._unsubscribes: list[Callable[[], None]] = []
+        self._collectors: list[tuple["Observability", Callable]] = []
+        self._counts: dict[str, int] = {check: 0 for check in CHECKS}
+        self._feed_ts = 0
+        self._n_scopes = 0
+        # -- per-(scope, ...) state machines --
+        # A *scope* namespaces the state: each armed hub gets a fresh
+        # token so two kernels that happen to share a host label (e.g.
+        # many single-machine clusters built in one test) can never
+        # alias each other's frames or handles.  Host labels are kept
+        # for display only.
+        #: believed pin count per (scope, frame)
+        self._pins: dict[tuple[Any, int], int] = {}
+        #: open DMA windows per (scope, frame)
+        self._dma: dict[tuple[Any, int], int] = {}
+        #: live registrations by (scope, handle)
+        self._regs: dict[tuple[Any, int], _Registration] = {}
+        #: live handles per (scope, pid)
+        self._regs_by_pid: dict[tuple[Any, int], set[int]] = {}
+        #: live handles covering each (scope, frame)
+        self._reg_frames: dict[tuple[Any, int], set[int]] = {}
+        #: TPT handles seen invalidated, per (scope, handle)
+        self._tpt_dead: set[tuple[Any, int]] = set()
+        self._handlers: dict[str, Callable[[SanEvent, Any], None]] = {
+            ev.PIN: self._on_pin,
+            ev.UNPIN: self._on_unpin,
+            ev.DMA_BEGIN: self._on_dma_begin,
+            ev.DMA_END: self._on_dma_end,
+            ev.SWAP_OUT: self._on_swap_out,
+            ev.MUNLOCK: self._on_munlock,
+            ev.TPT_INVALIDATE: self._on_tpt_invalidate,
+            ev.TPT_TRANSLATE: self._on_tpt_translate,
+            ev.REGISTER: self._on_register,
+            ev.DEREGISTER: self._on_deregister,
+            ev.TASK_EXIT: self._on_task_exit,
+        }
+
+    # ------------------------------------------------------------ suppression
+
+    def suppress(self, check: str) -> "PinSanitizer":
+        """Disable one check (typo-checked against :data:`CHECKS`)."""
+        if check not in CHECKS:
+            raise ValueError(
+                f"unknown check {check!r}; choose one of {CHECKS}")
+        self.suppressed.add(check)
+        return self
+
+    def unsuppress(self, check: str) -> "PinSanitizer":
+        """Re-enable a suppressed check."""
+        self.suppressed.discard(check)
+        return self
+
+    @contextmanager
+    def expect(self, *checks: str) -> Iterator[list[Violation]]:
+        """Capture violations of ``checks`` (all checks when empty)
+        instead of recording/raising them — for tests that *provoke* a
+        violation and want to assert it fired.  Yields the capture
+        list."""
+        for check in checks:
+            if check not in CHECKS:
+                raise ValueError(
+                    f"unknown check {check!r}; choose one of {CHECKS}")
+        exp = _Expectation(frozenset(checks))
+        self._expectations.append(exp)
+        try:
+            yield exp.captured
+        finally:
+            self._expectations.remove(exp)
+
+    # ----------------------------------------------------------------- arming
+
+    def arm(self, target: Any) -> "PinSanitizer":
+        """Subscribe to a Machine, a Cluster, or a bare Kernel.
+
+        Arming snapshots each kernel's current pin counts (so an unpin
+        of a pre-existing pin is not misread as underflow) and seeds the
+        registration shadow from any Kernel Agents reachable from the
+        target, so pre-existing registrations are tracked too.
+        """
+        from repro.via.machine import Cluster, Machine
+        if isinstance(target, Cluster):
+            pairs = [(m.kernel, [m.agent]) for m in target.machines]
+        elif isinstance(target, Machine):
+            pairs = [(target.kernel, [target.agent])]
+        else:
+            pairs = [(target, [])]
+        for kernel, agents in pairs:
+            self._arm_kernel(kernel, agents)
+        self.armed = True
+        return self
+
+    def _arm_kernel(self, kernel: "Kernel", agents: list) -> None:
+        hub: EventHub = kernel.events
+        self._n_scopes += 1
+        scope = self._n_scopes
+        for pd in kernel.pagemap:
+            if pd.pin_count > 0:
+                self._pins[(scope, pd.frame)] = pd.pin_count
+        for agent in agents:
+            for reg in agent.registrations.values():
+                self._track_registration(
+                    scope, handle=reg.handle, pid=reg.pid,
+                    frames=tuple(reg.region.frames),
+                    backend=reg.backend_name,
+                    first_vpn=reg.region.first_vpn,
+                    end_vpn=reg.region.first_vpn + reg.region.npages)
+        self._unsubscribes.append(hub.subscribe(
+            lambda event, _scope=scope: self.handle(event, scope=_scope)))
+        self._attach_collector(kernel.obs)
+
+    def disarm(self) -> None:
+        """Unsubscribe from every armed hub and detach collectors."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        for obs, collector in self._collectors:
+            obs.remove_collector(collector)
+        self._collectors.clear()
+        self.armed = False
+
+    # ------------------------------------------------------------- obs bridge
+
+    def _attach_collector(self, obs: "Observability") -> None:
+        if any(existing is obs for existing, _ in self._collectors):
+            return
+        collector = self._collect_into
+        obs.add_collector(collector)
+        self._collectors.append((obs, collector))
+
+    def _collect_into(self, obs: "Observability") -> None:
+        """Snapshot-time collector: fold sanitizer counters into the
+        metrics registry (see the Observability snapshot pipeline)."""
+        metrics = obs.metrics
+        metrics.gauge("analysis.san.events_observed").set(self.events_seen)
+        metrics.gauge("analysis.san.violations_total").set(
+            sum(self._counts.values()))
+        for check, count in self._counts.items():
+            name = "analysis.san.violations." + check.replace("-", "_")
+            metrics.gauge(name).set(count)
+
+    # ------------------------------------------------------------------ stats
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Violations recorded so far, by check (includes zeros)."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------- feed
+
+    def handle(self, event: SanEvent, scope: Any = None) -> None:
+        """Consume one event (the hub-subscription entry point).
+
+        ``scope`` namespaces the per-frame/per-handle state; armed hubs
+        bind a distinct scope at subscription time.  When fed directly
+        it defaults to the event's host label.
+        """
+        if scope is None:
+            scope = event.host
+        self.events_seen += 1
+        ring = self._ring
+        ring.append((scope, event))
+        if len(ring) > self._trail_maxlen:
+            del ring[:len(ring) - self._trail_maxlen]
+        handler = self._handlers.get(event.kind)
+        if handler is not None:
+            handler(event, scope)
+
+    def feed(self, events: Iterable) -> None:
+        """Drive the sanitizer directly — the golden-test entry point.
+
+        Each item is either a ready :class:`SanEvent` or a
+        ``(kind, fields_dict)`` pair, which is stamped with host
+        ``"test"`` and a monotonically increasing timestamp.
+        """
+        for item in events:
+            if not isinstance(item, SanEvent):
+                kind, fields = item
+                self._feed_ts += 1
+                item = SanEvent(self._feed_ts, "test", kind, dict(fields))
+            self.handle(item)
+
+    # -------------------------------------------------------------- reporting
+
+    def _report(self, check: str, event: SanEvent, scope: Any,
+                message: str, *, frames: Iterable[int] = (),
+                pid: int | None = None,
+                handle: int | None = None) -> None:
+        if check in self.suppressed:
+            return
+        violation = Violation(
+            check=check, host=event.host, message=message, event=event,
+            trail=self._trail(event, scope, frozenset(frames), pid,
+                              handle))
+        for exp in reversed(self._expectations):
+            if not exp.checks or check in exp.checks:
+                exp.captured.append(violation)
+                return
+        self._counts[check] += 1
+        self.violations.append(violation)
+        if self.strict:
+            raise SanitizerViolation(violation.format(),
+                                     violation=violation)
+
+    def _trail(self, trigger: SanEvent, scope: Any,
+               frames: frozenset[int], pid: int | None,
+               handle: int | None) -> tuple[SanEvent, ...]:
+        related: list[SanEvent] = []
+        for e_scope, e in self._ring:
+            if e_scope != scope and e is not trigger:
+                continue
+            if e is trigger or self._related(e, frames, pid, handle):
+                related.append(e)
+        return tuple(related[-self._trail_report:])
+
+    @staticmethod
+    def _related(e: SanEvent, frames: frozenset[int], pid: int | None,
+                 handle: int | None) -> bool:
+        f = e.fields
+        if frames:
+            if f.get("frame") in frames:
+                return True
+            ef = f.get("frames")
+            if ef and not frames.isdisjoint(ef):
+                return True
+        if pid is not None and f.get("pid") == pid:
+            return True
+        if handle is not None and f.get("handle") == handle:
+            return True
+        return False
+
+    # ----------------------------------------------------- state transitions
+
+    def _track_registration(self, scope: Any, *, handle: int, pid: int,
+                            frames: tuple[int, ...], backend: str,
+                            first_vpn: int, end_vpn: int) -> None:
+        reg = _Registration(handle=handle, pid=pid, frames=frames,
+                            backend=backend, first_vpn=first_vpn,
+                            end_vpn=end_vpn)
+        self._regs[(scope, handle)] = reg
+        self._regs_by_pid.setdefault((scope, pid), set()).add(handle)
+        for frame in frames:
+            self._reg_frames.setdefault((scope, frame), set()).add(handle)
+
+    def _untrack_registration(self, scope: Any, handle: int) -> None:
+        reg = self._regs.pop((scope, handle), None)
+        if reg is None:
+            return   # registered before arming; nothing tracked
+        pid_key = (scope, reg.pid)
+        handles = self._regs_by_pid.get(pid_key)
+        if handles is not None:
+            handles.discard(handle)
+            if not handles:
+                del self._regs_by_pid[pid_key]
+        for frame in reg.frames:
+            frame_key = (scope, frame)
+            owners = self._reg_frames.get(frame_key)
+            if owners is not None:
+                owners.discard(handle)
+                if not owners:
+                    del self._reg_frames[frame_key]
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_pin(self, event: SanEvent, scope: Any) -> None:
+        for frame in event["frames"]:
+            key = (scope, frame)
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _on_unpin(self, event: SanEvent, scope: Any) -> None:
+        for frame in event["frames"]:
+            key = (scope, frame)
+            current = self._pins.get(key, 0)
+            if current <= 0:
+                self._report(
+                    "pin-underflow", event, scope,
+                    f"unpin of frame {frame} with no pin outstanding "
+                    f"(double release)",
+                    frames=(frame,), pid=event.get("pid"))
+                continue
+            current -= 1
+            if current:
+                self._pins[key] = current
+            else:
+                del self._pins[key]
+                if self._dma.get(key, 0) > 0:
+                    self._report(
+                        "dma-unpinned-frame", event, scope,
+                        f"pin count of frame {frame} reached zero inside "
+                        f"an open DMA window",
+                        frames=(frame,), pid=event.get("pid"))
+
+    def _on_dma_begin(self, event: SanEvent, scope: Any) -> None:
+        for frame in event["frames"]:
+            key = (scope, frame)
+            self._dma[key] = self._dma.get(key, 0) + 1
+
+    def _on_dma_end(self, event: SanEvent, scope: Any) -> None:
+        for frame in event["frames"]:
+            key = (scope, frame)
+            current = self._dma.get(key, 0)
+            if current <= 1:
+                self._dma.pop(key, None)
+            else:
+                self._dma[key] = current - 1
+
+    def _on_swap_out(self, event: SanEvent, scope: Any) -> None:
+        frame = event["frame"]
+        key = (scope, frame)
+        if self._dma.get(key, 0) > 0:
+            self._report(
+                "dma-swapped-frame", event, scope,
+                f"frame {frame} stolen by swap_out inside an open DMA "
+                f"window",
+                frames=(frame,), pid=event.get("pid"))
+        owners = self._reg_frames.get(key)
+        if owners:
+            handle = min(owners)
+            backend = self._regs[(scope, handle)].backend
+            self._report(
+                "swap-registered", event, scope,
+                f"frame {frame} of live registration handle {handle} "
+                f"(backend {backend!r}) swapped out — the §3.1 failure",
+                frames=(frame,), pid=event.get("pid"), handle=handle)
+
+    def _on_munlock(self, event: SanEvent, scope: Any) -> None:
+        pid = event["pid"]
+        start_vpn, end_vpn = event["start_vpn"], event["end_vpn"]
+        for handle in sorted(self._regs_by_pid.get((scope, pid), ())):
+            reg = self._regs[(scope, handle)]
+            if (reg.backend in MLOCK_BACKENDS
+                    and reg.first_vpn < end_vpn
+                    and reg.end_vpn > start_vpn):
+                self._report(
+                    "mlock-nesting", event, scope,
+                    f"munlock of vpns [{start_vpn}, {end_vpn}) annulled "
+                    f"VM_LOCKED under live registration handle {handle} "
+                    f"of pid {pid} (vpns [{reg.first_vpn}, {reg.end_vpn}))"
+                    f" — mlock does not nest (§3.2)",
+                    pid=pid, handle=handle)
+
+    def _on_tpt_invalidate(self, event: SanEvent, scope: Any) -> None:
+        self._tpt_dead.add((scope, event["handle"]))
+
+    def _on_tpt_translate(self, event: SanEvent, scope: Any) -> None:
+        handle = event["handle"]
+        if (scope, handle) in self._tpt_dead:
+            self._report(
+                "tpt-use-after-invalidate", event, scope,
+                f"translation served through handle {handle} after its "
+                f"region was invalidated",
+                handle=handle)
+
+    def _on_register(self, event: SanEvent, scope: Any) -> None:
+        self._track_registration(
+            scope, handle=event["handle"], pid=event["pid"],
+            frames=tuple(event["frames"]), backend=event["backend"],
+            first_vpn=event["first_vpn"],
+            end_vpn=event["first_vpn"] + event["npages"])
+
+    def _on_deregister(self, event: SanEvent, scope: Any) -> None:
+        self._untrack_registration(scope, event["handle"])
+
+    def _on_task_exit(self, event: SanEvent, scope: Any) -> None:
+        pid = event["pid"]
+        if not event["cleanup"]:
+            # Buggy teardown being modelled: leaked registrations are
+            # the reaper's job, not a sanitizer violation.
+            return
+        handles = sorted(self._regs_by_pid.get((scope, pid), ()))
+        if handles:
+            self._report(
+                "registration-leak", event, scope,
+                f"pid {pid} exited through the clean teardown path with "
+                f"live registrations {handles}",
+                pid=pid, handle=handles[0])
+        for handle in handles:
+            self._untrack_registration(scope, handle)

@@ -14,7 +14,9 @@ from collections import Counter
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import InvariantViolation, PageAccountingError
+from repro.errors import (
+    InvalidArgument, InvariantViolation, PageAccountingError,
+)
 from repro.hw.physmem import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,8 +47,12 @@ def audit_tpt_consistency(agent: "KernelAgent") -> list[StaleEntry]:
     for reg in agent.registrations.values():
         try:
             task = kernel.find_task(reg.pid)
-        except Exception:
-            continue   # owner exited; registration is dangling by definition
+        except InvalidArgument:
+            # Owner exited; the registration is dangling by definition.
+            # Only the lookup failure is absorbed — a broad except here
+            # would swallow ProcessKilled from a crash point firing
+            # inside an audited callback.
+            continue
         first_vpn = reg.region.first_vpn
         for i, tpt_frame in enumerate(reg.region.frames):
             vpn = first_vpn + i

@@ -23,6 +23,21 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class SanitizerViolation(ReproError):
+    """The pin-safety sanitizer caught an ordering violation in strict
+    mode.
+
+    Deliberately a direct :class:`ReproError` subclass — not a kernel,
+    hardware, or VIA error — so no layer's recovery path can swallow it:
+    a sanitizer report must always reach the test harness.  ``violation``
+    is the structured :class:`~repro.analysis.sanitizer.Violation`,
+    including its happens-before event trail."""
+
+    def __init__(self, message: str, violation=None):
+        super().__init__(message)
+        self.violation = violation
+
+
 # ---------------------------------------------------------------------------
 # Hardware layer
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.events import DMA_BEGIN, DMA_END
 from repro.errors import DMAFault
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
 from repro.obs.metrics import SIZE_BUCKETS
@@ -38,12 +39,14 @@ class DMAEngine:
 
     def __init__(self, phys: PhysicalMemory, clock: SimClock,
                  costs: CostModel, trace: Trace | None = None,
-                 name: str = "dma", obs=None) -> None:
+                 name: str = "dma", obs=None, events=None) -> None:
         self._phys = phys
         self._clock = clock
         self._costs = costs
         self._trace = trace
         self._obs = obs
+        #: analysis EventHub for DMA_BEGIN/DMA_END windows (optional)
+        self._events = events
         self.name = name
         self.fault_plan: "FaultPlan | None" = None
         #: merge physically-adjacent gather/scatter segments into single
@@ -105,6 +108,25 @@ class DMAEngine:
             metrics.histogram("hw.dma.transfer_bytes",
                               buckets=SIZE_BUCKETS).observe(total)
 
+    def _window_open(self, op: str, runs: list[tuple[int, int]]
+                     ) -> tuple[int, ...] | None:
+        """Open a sanitizer DMA window over the frames the transfer will
+        touch; returns the frame tuple to pass to :meth:`_window_close`,
+        or None when nobody is listening (the common case — one
+        attribute load and one branch)."""
+        events = self._events
+        if events is None or not events.active:
+            return None
+        frames = tuple(frame for addr, length in runs
+                       for frame, _offset, _n in self._bursts(addr, length))
+        events.emit(DMA_BEGIN, frames=frames, op=op, engine=self.name)
+        return frames
+
+    def _window_close(self, op: str, frames: tuple[int, ...] | None) -> None:
+        if frames is not None:
+            self._events.emit(DMA_END, frames=frames, op=op,
+                              engine=self.name)
+
     def _maybe_fault(self, op: str, phys_addr: int, length: int) -> None:
         """Raise an injected :class:`DMAFault` when the plan says so —
         the simulator's stand-in for a PCI abort or parity error."""
@@ -122,11 +144,15 @@ class DMAEngine:
     def read(self, phys_addr: int, length: int) -> bytes:
         """DMA-read ``length`` bytes starting at flat ``phys_addr``."""
         self._maybe_fault("read", phys_addr, length)
-        self._clock.charge(self._costs.dma_setup_ns, "dma")
-        self._clock.charge(self._costs.dma_ns(length), "dma")
-        out = bytearray()
-        for frame, offset, n in self._bursts(phys_addr, length):
-            out += self._phys.read(frame, offset, n)
+        window = self._window_open("read", [(phys_addr, length)])
+        try:
+            self._clock.charge(self._costs.dma_setup_ns, "dma")
+            self._clock.charge(self._costs.dma_ns(length), "dma")
+            out = bytearray()
+            for frame, offset, n in self._bursts(phys_addr, length):
+                out += self._phys.read(frame, offset, n)
+        finally:
+            self._window_close("read", window)
         self.bytes_read += length
         if self._trace is not None:
             self._trace.emit("dma_read", engine=self.name,
@@ -136,12 +162,16 @@ class DMAEngine:
     def write(self, phys_addr: int, data: bytes) -> None:
         """DMA-write ``data`` starting at flat ``phys_addr``."""
         self._maybe_fault("write", phys_addr, len(data))
-        self._clock.charge(self._costs.dma_setup_ns, "dma")
-        self._clock.charge(self._costs.dma_ns(len(data)), "dma")
-        pos = 0
-        for frame, offset, n in self._bursts(phys_addr, len(data)):
-            self._phys.write(frame, offset, data[pos:pos + n])
-            pos += n
+        window = self._window_open("write", [(phys_addr, len(data))])
+        try:
+            self._clock.charge(self._costs.dma_setup_ns, "dma")
+            self._clock.charge(self._costs.dma_ns(len(data)), "dma")
+            pos = 0
+            for frame, offset, n in self._bursts(phys_addr, len(data)):
+                self._phys.write(frame, offset, data[pos:pos + n])
+                pos += n
+        finally:
+            self._window_close("write", window)
         self.bytes_written += len(data)
         if self._trace is not None:
             self._trace.emit("dma_write", engine=self.name,
@@ -162,8 +192,12 @@ class DMAEngine:
         total = sum(length for _, length in runs)
         first = runs[0][0] if runs else 0
         self._maybe_fault("read_gather", first, total)
-        self._charge_bursts(len(runs), total)
-        out = self._phys.read_iovec(runs) if runs else b""
+        window = self._window_open("read_gather", runs)
+        try:
+            self._charge_bursts(len(runs), total)
+            out = self._phys.read_iovec(runs) if runs else b""
+        finally:
+            self._window_close("read_gather", window)
         self.bytes_read += total
         obs = self._obs
         if obs is not None and obs.enabled:
@@ -194,9 +228,13 @@ class DMAEngine:
         runs = self.coalesce_runs(segments)
         first = runs[0][0] if runs else 0
         self._maybe_fault("write_scatter", first, total)
-        self._charge_bursts(len(runs), total)
-        if runs:
-            self._phys.write_iovec(runs, data)
+        window = self._window_open("write_scatter", runs)
+        try:
+            self._charge_bursts(len(runs), total)
+            if runs:
+                self._phys.write_iovec(runs, data)
+        finally:
+            self._window_close("write_scatter", window)
         self.bytes_written += total
         obs = self._obs
         if obs is not None and obs.enabled:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.events import SWAP_IN
 from repro.errors import SegmentationFault
 from repro.kernel.flags import VM_WRITE
 
@@ -89,6 +90,9 @@ def _swap_in(kernel: "Kernel", task: "Task", vpn: int, slot: int,
                                 dirty=True)
     task.major_faults += 1
     kernel.clock.charge(kernel.costs.major_fault_base_ns, "fault")
+    if kernel.events.active:
+        kernel.events.emit(SWAP_IN, pid=task.pid, vpn=vpn, frame=pd.frame,
+                           slot=slot)
     kernel.trace.emit("swap_in", pid=task.pid, vpn=vpn, frame=pd.frame,
                       slot=slot)
     return pd.frame

@@ -10,6 +10,7 @@ pages to be swapped out".
 
 from __future__ import annotations
 
+from repro.analysis.events import MUNMAP, TASK_EXIT, EventHub
 from repro.errors import InvalidArgument, OutOfMemory, SegmentationFault
 from repro.hw.dma import DMAEngine
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
@@ -56,13 +57,21 @@ class Kernel:
         self.trace = trace if trace is not None else Trace(
             self.clock, maxlen=trace_maxlen)
         self.obs = obs if obs is not None else Observability(self.clock)
+        # The analysis event stream is always per-kernel (frame numbers
+        # and pids are host-local, so a shared hub would alias them);
+        # a Machine relabels ``events.host`` with its own name.
+        self.events = EventHub(self.clock)
+        #: the installed FaultPlan, if any (see repro.sim.faults.install);
+        #: kernel-internal crash points (kiobuf pinning) consult it
+        self.fault_plan: object | None = None
         self.rng = make_rng(seed)
         self.phys = PhysicalMemory(num_frames)
         self.swap = SwapDevice(swap_slots, self.clock, self.costs)
         self.pagemap = PageMap(num_frames, self.clock, self.costs,
                                self.trace, reserved_frames=reserved_frames)
         self.dma = DMAEngine(self.phys, self.clock, self.costs, self.trace,
-                             name="host-dma", obs=self.obs)
+                             name="host-dma", obs=self.obs,
+                             events=self.events)
         self.tasks: list[Task] = []
         self.min_free_pages = min_free_pages
         #: simulated page/buffer cache: set of frames
@@ -192,6 +201,8 @@ class Kernel:
         self._task_swap_hand.pop(task.pid, None)
         for hook in list(self.post_exit_hooks):
             hook(task)
+        if self.events.active:
+            self.events.emit(TASK_EXIT, pid=task.pid, cleanup=run_hooks)
 
     # ------------------------------------------------------- frame allocation
 
@@ -255,6 +266,9 @@ class Kernel:
         if notify:
             for hook in list(self.munmap_hooks):
                 hook(task, start_vpn, end_vpn)
+        if self.events.active:
+            self.events.emit(MUNMAP, pid=task.pid, start_vpn=start_vpn,
+                             end_vpn=end_vpn)
         task.vmas.remove_range(start_vpn, end_vpn)
         for vpn in range(start_vpn, end_vpn):
             pte = task.page_table.lookup(vpn)

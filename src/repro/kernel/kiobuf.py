@@ -26,10 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import KiobufError
+from repro.analysis.events import PIN, UNPIN
+from repro.errors import KiobufError, ProcessKilled
 from repro.hw.physmem import PAGE_SIZE
 from repro.kernel.fault import handle_fault
 from repro.kernel.flags import VM_WRITE
+from repro.sim.faults import crash_if_due
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -107,12 +109,22 @@ def map_user_kiobuf(kernel: "Kernel", task: "Task", va: int,
             kernel.clock.charge(kernel.costs.page_lock_ns, "kiobuf")
             frames.append(pte.frame)
             pinned.append(pte.frame)
+            if kernel.events.active:
+                kernel.events.emit(PIN, frames=(pte.frame,), pid=task.pid)
+            # Crash point after each page pin: a death here leaves pins
+            # that predate the kiobuf record, so the exit-path sweep
+            # cannot see them — the unwind below must release them.
+            crash_if_due(kernel.fault_plan, kernel, task, "kiobuf.pin")
+    except ProcessKilled:
+        # The mapper itself died at a crash point.  The kill already ran
+        # the exit path, but these partial pins are invisible to it (no
+        # kiobuf record exists yet): unwind them here, then let the
+        # control-flow exception keep propagating.
+        _unwind_pins(kernel, pinned, task.pid)
+        raise
     except Exception:
         # Unwind partial pins so a failed map leaves no residue.
-        for frame in pinned:
-            pd = kernel.pagemap.page(frame)
-            pd.unpin()
-            kernel.pagemap.put_page(frame)
+        _unwind_pins(kernel, pinned, task.pid)
         raise
 
     kio = Kiobuf(kiobuf_id=kernel._next_kiobuf_id, pid=task.pid,
@@ -122,6 +134,16 @@ def map_user_kiobuf(kernel: "Kernel", task: "Task", va: int,
     kernel.trace.emit("kiobuf_map", kiobuf=kio.kiobuf_id, pid=task.pid,
                       va=va, npages=len(frames))
     return kio
+
+
+def _unwind_pins(kernel: "Kernel", pinned: list[int], pid: int) -> None:
+    """Release partial pins of a failed ``map_user_kiobuf``."""
+    for frame in pinned:
+        pd = kernel.pagemap.page(frame)
+        pd.unpin()
+        kernel.pagemap.put_page(frame)
+    if pinned and kernel.events.active:
+        kernel.events.emit(UNPIN, frames=tuple(pinned), pid=pid)
 
 
 def unmap_kiobuf(kernel: "Kernel", kio: Kiobuf) -> None:
@@ -139,5 +161,7 @@ def unmap_kiobuf(kernel: "Kernel", kio: Kiobuf) -> None:
         kernel.pagemap.put_page(frame)
     kio.mapped = False
     kernel.kiobufs.pop(kio.kiobuf_id, None)
+    if kernel.events.active:
+        kernel.events.emit(UNPIN, frames=tuple(kio.frames), pid=kio.pid)
     kernel.trace.emit("kiobuf_unmap", kiobuf=kio.kiobuf_id, pid=kio.pid,
                       npages=kio.npages)

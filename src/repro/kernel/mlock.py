@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.events import MLOCK, MUNLOCK
 from repro.errors import InvalidArgument, PermissionDenied
 from repro.hw.physmem import PAGE_SIZE
 from repro.kernel.capabilities import CAP_IPC_LOCK, capable
@@ -75,6 +76,9 @@ def do_mlock(kernel: "Kernel", task: "Task", va: int, nbytes: int) -> None:
             vma = task.vmas.find_or_fault(vpn)
             handle_fault(kernel, task, vpn,
                          write=bool(vma.flags & VM_WRITE))
+    if kernel.events.active:
+        kernel.events.emit(MLOCK, pid=task.pid, start_vpn=start_vpn,
+                           end_vpn=end_vpn)
     kernel.trace.emit("mlock", pid=task.pid, start_vpn=start_vpn,
                       end_vpn=end_vpn)
 
@@ -101,6 +105,9 @@ def do_munlock(kernel: "Kernel", task: "Task", va: int,
     kernel.clock.charge(splits * kernel.costs.vma_split_ns, "mlock")
     task.vmas.set_flags_range(start_vpn, end_vpn, clear_bits=VM_LOCKED)
     task.vmas.merge_adjacent()
+    if kernel.events.active:
+        kernel.events.emit(MUNLOCK, pid=task.pid, start_vpn=start_vpn,
+                           end_vpn=end_vpn)
     kernel.trace.emit("munlock", pid=task.pid, start_vpn=start_vpn,
                       end_vpn=end_vpn)
 

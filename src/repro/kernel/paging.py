@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.events import SWAP_OUT
 from repro.errors import SwapFull
 from repro.kernel.flags import PG_PAGECACHE, PG_REFERENCED
 
@@ -231,6 +232,9 @@ def _swap_out_task_one(kernel: "Kernel", task: "Task") -> "bool | None":
             obs.metrics.counter("kernel.paging.swap_outs").inc()
             if not was_freed:
                 obs.metrics.counter("kernel.paging.orphaned_frames").inc()
+        if kernel.events.active:
+            kernel.events.emit(SWAP_OUT, pid=task.pid, vpn=vpn,
+                               frame=pd.frame, freed=was_freed)
         kernel.trace.emit("swap_out", pid=task.pid, vpn=vpn,
                           frame=pd.frame, slot=slot,
                           refs_before=refs_before, freed=was_freed)

@@ -29,6 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.analysis.events import UNPIN
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -369,6 +370,9 @@ class OrphanReaper:
                 continue
             for _ in range(excess):
                 pd.unpin()
+            if self.kernel.events.active:
+                self.kernel.events.emit(
+                    UNPIN, frames=(pd.frame,) * excess, pid=None)
             self._backoff.pop(key, None)
             report.pins_force_released += excess
             self.kernel.trace.emit("reaper_pin_released", frame=pd.frame,

@@ -56,6 +56,26 @@ class Observability:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(clock, maxlen=span_maxlen)
+        #: snapshot-time collectors (see :meth:`add_collector`)
+        self._collectors: list = []
+
+    # -- collectors --------------------------------------------------------
+
+    def add_collector(self, collector) -> None:
+        """Register a snapshot-time collector.
+
+        A collector is called with this facade right before every
+        :meth:`snapshot`, so components that keep their own counters
+        (the pin-safety sanitizer, for one) can fold them into the
+        metrics registry lazily instead of paying per-event metric
+        updates on the hot path."""
+        self._collectors.append(collector)
+
+    def remove_collector(self, collector) -> None:
+        """Deregister a collector added with :meth:`add_collector`
+        (no-op if absent)."""
+        if collector in self._collectors:
+            self._collectors.remove(collector)
 
     # -- switching ---------------------------------------------------------
 
@@ -120,6 +140,8 @@ class Observability:
 
     def snapshot(self) -> dict:
         """Roll everything into one deterministic dict."""
+        for collector in list(self._collectors):
+            collector(self)
         return {
             "enabled": self.enabled,
             "now_ns": self.clock.now_ns,

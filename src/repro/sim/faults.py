@@ -41,11 +41,21 @@ DEFAULT_DELAY_NS = 20_000
 
 #: Crash points inside the driver's registration path, in execution
 #: order: before the backend pins, after the pin but before the TPT
-#: install, and after the registration is fully recorded.
+#: install, inside the TPT install window, and after the registration is
+#: fully recorded.
 REGISTRATION_CRASH_POINTS: tuple[str, ...] = (
     "register.start",
     "register.pinned",
+    "register.install",
     "register.installed",
+)
+
+#: Crash points inside the kernel itself (backend-specific, so not part
+#: of the backend-agnostic registration sweep): mid-pin in
+#: ``map_user_kiobuf``, after a page was pinned but before the kiobuf
+#: record exists.
+KERNEL_CRASH_POINTS: tuple[str, ...] = (
+    "kiobuf.pin",
 )
 
 #: Crash points inside a rendezvous zero-copy transfer, mapping each
@@ -64,7 +74,8 @@ TRANSFER_CRASH_POINTS: dict[str, str] = {
 
 #: Every crash point a plan may name.
 CRASH_POINTS: tuple[str, ...] = (
-    REGISTRATION_CRASH_POINTS + tuple(TRANSFER_CRASH_POINTS))
+    REGISTRATION_CRASH_POINTS + KERNEL_CRASH_POINTS
+    + tuple(TRANSFER_CRASH_POINTS))
 
 
 @dataclass
@@ -130,11 +141,30 @@ class FaultPlan:
     stats: FaultStats = field(default_factory=FaultStats)
 
     def __post_init__(self) -> None:
+        # Every public knob is validated here — a typo'd or out-of-range
+        # fault plan must fail at construction, not half-way through a
+        # chaos run (repro-lint's faultplan-validation rule enforces
+        # that this stays true as knobs are added).
+        if self.seed < 0:
+            raise ValueError(
+                f"seed must be >= 0, got {self.seed} "
+                f"(the RNG rejects negative seeds)")
         for attr in ("loss_rate", "duplicate_rate", "corrupt_rate",
                      "delay_rate", "dma_fail_rate"):
             rate = getattr(self, attr)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{attr} must be in [0, 1], got {rate}")
+        for attr in ("registration_failures", "pin_failures"):
+            budget = getattr(self, attr)
+            if budget < 0:
+                raise ValueError(
+                    f"{attr} must be >= 0, got {budget} "
+                    f"(a negative failure budget can never be consumed)")
+        if (self.nic_reset_name is not None
+                and not isinstance(self.nic_reset_name, str)):
+            raise ValueError(
+                f"nic_reset_name must be a NIC name or None, "
+                f"got {self.nic_reset_name!r}")
         if (self.crash_point is not None
                 and self.crash_point not in CRASH_POINTS):
             raise ValueError(
@@ -309,3 +339,6 @@ def _install_machine(plan: FaultPlan | None, machine) -> None:
     machine.nic.fault_plan = plan
     machine.nic.dma.fault_plan = plan
     machine.agent.fault_plan = plan
+    # Kernel-internal crash points (kiobuf pinning) read the plan off
+    # the kernel itself — the kiobuf layer knows nothing about drivers.
+    machine.kernel.fault_plan = plan

@@ -15,7 +15,10 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import InvalidArgument, NotRegistered, ViaError
+from repro.analysis.events import DEREGISTER, REGISTER
+from repro.errors import (
+    InvalidArgument, NotRegistered, ProcessKilled, ViaError,
+)
 from repro.hw.physmem import PAGE_SIZE
 from repro.sim.faults import crash_if_due
 from repro.via.constants import VIP_ERROR_RESOURCE, ReliabilityLevel
@@ -129,10 +132,18 @@ class KernelAgent:
         # path's kiobuf sweep (or the reaper) must release the pin.
         crash_if_due(plan, self.kernel, task, "register.pinned")
         try:
+            crash_if_due(plan, self.kernel, task, "register.install")
             region = self.nic.tpt.install(
                 va_base=va, nbytes=nbytes, prot_tag=tag,
                 frames=result.frames, rdma_write=rdma_write,
                 rdma_read=rdma_read, lock_cookie=result.cookie)
+        except ProcessKilled:
+            # The registering process died here: the kill's exit path has
+            # already released the backend's state (the kiobuf sweep, the
+            # address-space teardown).  Compensating via backend.unlock
+            # would double-release — and its failure would mask the
+            # ProcessKilled we must propagate.
+            raise
         except Exception:
             self.backend.unlock(self.kernel, result.cookie)
             raise
@@ -142,6 +153,11 @@ class KernelAgent:
         reg = Registration(region=region, pid=task.pid, va=va,
                            nbytes=nbytes, backend_name=self.backend.name)
         self.registrations[region.handle] = reg
+        if self.kernel.events.active:
+            self.kernel.events.emit(
+                REGISTER, handle=region.handle, pid=task.pid,
+                frames=tuple(result.frames), backend=self.backend.name,
+                first_vpn=region.first_vpn, npages=region.npages)
         self.kernel.trace.emit("via_register", pid=task.pid, va=va,
                                nbytes=nbytes, handle=region.handle,
                                backend=self.backend.name)
@@ -155,6 +171,12 @@ class KernelAgent:
         reg = self.registrations.pop(handle, None)
         if reg is None:
             raise NotRegistered(f"no registration with handle {handle}")
+        # DEREGISTER is emitted before the backend unlocks: the unlock's
+        # own events (an mlock backend's MUNLOCK) must be attributable to
+        # a *dead* registration, or the sanitizer's §3.2 nesting check
+        # could not tell a legitimate last-unlock from an annulment.
+        if self.kernel.events.active:
+            self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         region = self.nic.tpt.remove(handle)
         self.kernel.clock.charge(
             region.npages * self.kernel.costs.tpt_update_ns, "register")
@@ -174,6 +196,12 @@ class KernelAgent:
         reg = self.registrations.get(handle)
         if reg is None:
             raise NotRegistered(f"no registration with handle {handle}")
+        # Same ordering rationale as deregister_memory: announce the
+        # registration dead before the unlock's side effects.  (If the
+        # unlock fails the record stays for a retry, which re-announces;
+        # the sanitizer tolerates a DEREGISTER for an unknown handle.)
+        if self.kernel.events.active:
+            self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         self.backend.unlock(self.kernel, reg.region.lock_cookie)
         self.registrations.pop(handle, None)
         region = self.nic.tpt.remove(handle)
@@ -191,6 +219,8 @@ class KernelAgent:
         reg = self.registrations.pop(handle, None)
         if reg is None:
             raise NotRegistered(f"no registration with handle {handle}")
+        if self.kernel.events.active:
+            self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         self.nic.tpt.remove(handle)
         self.kernel.trace.emit("via_forget_registration", handle=handle,
                                pid=reg.pid, backend=self.backend.name)

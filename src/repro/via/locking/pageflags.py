@@ -48,11 +48,14 @@ class PageFlagLocking(LockingBackend):
                 handle_fault(kernel, task, vpn, write=True)
                 pte = task.page_table.lookup(vpn)
             kernel.clock.charge(kernel.costs.pagetable_walk_ns, "register")
-            pd = kernel.pagemap.get_page(pte.frame)
+            # This backend pokes page descriptors from driver context on
+            # purpose — that unaudited mutation *is* the historical
+            # mechanism the paper critiques.
+            pd = kernel.pagemap.get_page(pte.frame)  # repro-lint: allow(kernel-mutation)
             # No check whether the page is already locked — the hazard
             # the paper calls out.
-            pd.set_flag(PG_LOCKED)
-            pd.set_flag(PG_RESERVED)
+            pd.set_flag(PG_LOCKED)       # repro-lint: allow(kernel-mutation)
+            pd.set_flag(PG_RESERVED)     # repro-lint: allow(kernel-mutation)
             kernel.clock.charge(2 * kernel.costs.page_lock_ns, "register")
             frames.append(pte.frame)
         kernel.trace.emit("lock_pageflags", pid=task.pid, va=va,
@@ -66,7 +69,7 @@ class PageFlagLocking(LockingBackend):
         for frame in frames:
             pd = kernel.pagemap.page(frame)
             # Cleared regardless of who else holds the lock:
-            pd.clear_flag(PG_LOCKED)
-            pd.clear_flag(PG_RESERVED)
+            pd.clear_flag(PG_LOCKED)     # repro-lint: allow(kernel-mutation)
+            pd.clear_flag(PG_RESERVED)   # repro-lint: allow(kernel-mutation)
             kernel.clock.charge(2 * kernel.costs.page_lock_ns, "register")
-            kernel.pagemap.put_page(frame)
+            kernel.pagemap.put_page(frame)  # repro-lint: allow(kernel-mutation)

@@ -43,7 +43,9 @@ class RefcountLocking(LockingBackend):
                 handle_fault(kernel, task, vpn, write=True)
                 pte = task.page_table.lookup(vpn)
             kernel.clock.charge(kernel.costs.pagetable_walk_ns, "register")
-            kernel.pagemap.get_page(pte.frame)
+            # Bare refcount bump from driver context — the deliberately
+            # broken mechanism this backend models (§3.1).
+            kernel.pagemap.get_page(pte.frame)  # repro-lint: allow(kernel-mutation)
             frames.append(pte.frame)
         kernel.trace.emit("lock_refcount", pid=task.pid, va=va,
                           npages=len(frames))
@@ -71,4 +73,4 @@ class RefcountLocking(LockingBackend):
             # If the page was orphaned by swap_out in the meantime, this
             # put is the last reference and quietly frees the orphan —
             # "system stability is not affected by this lapse".
-            kernel.pagemap.put_page(frame)
+            kernel.pagemap.put_page(frame)  # repro-lint: allow(kernel-mutation)

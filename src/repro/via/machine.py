@@ -43,6 +43,10 @@ class Machine:
                              costs=costs, seed=seed, clock=clock,
                              trace=trace, obs=obs,
                              min_free_pages=min_free_pages)
+        # Analysis events carry the machine name: frame numbers and pids
+        # are host-local, so a cluster-wide sanitizer needs the label to
+        # keep its per-host state machines apart.
+        self.kernel.events.host = name
         self.nic = VIANic(f"{name}.nic0", self.kernel,
                           tpt_entries=tpt_entries)
         self.agent = KernelAgent(self.kernel, self.nic, backend=backend)
@@ -83,6 +87,12 @@ class Machine:
         machine and return it."""
         from repro.core.audit import InvariantWatchdog
         return InvariantWatchdog(**kwargs).arm(self)
+
+    def arm_sanitizer(self, **kwargs):
+        """Arm a :class:`~repro.analysis.sanitizer.PinSanitizer` on this
+        machine and return it."""
+        from repro.analysis.sanitizer import PinSanitizer
+        return PinSanitizer(**kwargs).arm(self)
 
     def start_reaper(self, **kwargs):
         """Start an :class:`~repro.kernel.reaper.OrphanReaper` for this
@@ -134,6 +144,12 @@ class Cluster:
         every machine in the cluster and return it."""
         from repro.core.audit import InvariantWatchdog
         return InvariantWatchdog(**kwargs).arm(self)
+
+    def arm_sanitizer(self, **kwargs):
+        """Arm one :class:`~repro.analysis.sanitizer.PinSanitizer` over
+        every machine in the cluster and return it."""
+        from repro.analysis.sanitizer import PinSanitizer
+        return PinSanitizer(**kwargs).arm(self)
 
     def start_reapers(self, **kwargs):
         """Start one :class:`~repro.kernel.reaper.OrphanReaper` per

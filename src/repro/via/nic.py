@@ -52,10 +52,11 @@ class VIANic:
         self.name = name
         self.kernel = kernel
         self.tpt = TranslationProtectionTable(
-            tpt_entries, clock=kernel.clock, costs=kernel.costs)
+            tpt_entries, clock=kernel.clock, costs=kernel.costs,
+            events=kernel.events)
         self.dma = DMAEngine(kernel.phys, kernel.clock, kernel.costs,
                              kernel.trace, name=f"{name}-dma",
-                             obs=kernel.obs)
+                             obs=kernel.obs, events=kernel.events)
         self.vis: dict[int, VirtualInterface] = {}
         self.fabric: "Fabric | None" = None
         self.fault_plan: "FaultPlan | None" = None
@@ -210,12 +211,15 @@ class VIANic:
 
     def _observe_completion(self, desc: Descriptor, queue: str) -> None:
         """Record the doorbell→completion latency of a successfully
-        completed descriptor (callers guard on ``obs.enabled``)."""
+        completed descriptor (callers guard on ``obs.enabled``, so the
+        disabled path does not even pay this call)."""
         obs = self.kernel.obs
         if desc.posted_at_ns is not None:
+            # repro-lint: allow(obs-unguarded) — guarded at every caller
             obs.metrics.histogram(
                 "via.nic.doorbell_to_completion_ns").observe(
                     self.kernel.clock.now_ns - desc.posted_at_ns)
+        # repro-lint: allow(obs-unguarded) — guarded at every caller
         obs.metrics.counter(f"via.nic.completions.{queue}").inc()
 
     # --------------------------------------------------------------- send processing

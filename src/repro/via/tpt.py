@@ -30,6 +30,7 @@ from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.events import TPT_INSERT, TPT_INVALIDATE, TPT_TRANSLATE
 from repro.errors import NotRegistered, ProtectionError, ViaError
 from repro.hw.physmem import PAGE_SIZE
 from repro.via.constants import (
@@ -197,12 +198,14 @@ class TranslationProtectionTable:
     def __init__(self, capacity_entries: int = DEFAULT_TPT_ENTRIES,
                  clock=None, costs=None,
                  translation_cache_entries: int =
-                 DEFAULT_TRANSLATION_CACHE_ENTRIES) -> None:
+                 DEFAULT_TRANSLATION_CACHE_ENTRIES, events=None) -> None:
         self.capacity_entries = capacity_entries
         self.regions: dict[int, MemoryRegion] = {}
         self.entries_used = 0
         self._clock = clock
         self._costs = costs
+        #: analysis EventHub for TPT lifecycle events (optional)
+        self._events = events
         #: serve translations from coalesced extents (False restores the
         #: legacy per-page walk for A/B benchmarking)
         self.coalesce_extents = True
@@ -235,6 +238,11 @@ class TranslationProtectionTable:
             lock_cookie=lock_cookie)
         self.regions[region.handle] = region
         self.entries_used += len(frames)
+        events = self._events
+        if events is not None and events.active:
+            events.emit(TPT_INSERT, handle=region.handle,
+                        frames=tuple(frames),
+                        first_vpn=region.first_vpn, npages=len(frames))
         return region
 
     def remove(self, handle: int) -> MemoryRegion:
@@ -250,6 +258,9 @@ class TranslationProtectionTable:
         region.valid = False
         self.entries_used -= region.npages
         self.invalidate_translations(handle)
+        events = self._events
+        if events is not None and events.active:
+            events.emit(TPT_INVALIDATE, handle=handle)
         return region
 
     def lookup(self, handle: int) -> MemoryRegion:
@@ -345,6 +356,10 @@ class TranslationProtectionTable:
                 self.cache_hits += 1
                 self._charge(self._costs.tpt_cache_hit_ns
                              if self._costs else 0)
+                events = self._events
+                if events is not None and events.active:
+                    events.emit(TPT_TRANSLATE, handle=handle, va=va,
+                                length=length, cached=True)
                 return list(cached[0])
             self.cache_misses += 1
 
@@ -361,6 +376,10 @@ class TranslationProtectionTable:
 
         if self.translation_cache_entries > 0:
             self._cache_put(key, segments, version)
+        events = self._events
+        if events is not None and events.active:
+            events.emit(TPT_TRANSLATE, handle=handle, va=va,
+                        length=length, cached=False)
         return list(segments)
 
     @staticmethod

@@ -3,12 +3,26 @@ audit: every kernel built during a test is checked for accounting
 violations after the test body finishes, so a test that silently
 corrupts kernel state fails even if its own assertions pass.  Tests
 that corrupt state *on purpose* opt out with
-``@pytest.mark.no_posthoc_audit``."""
+``@pytest.mark.no_posthoc_audit``.
+
+With ``REPRO_SANITIZE`` set in the environment, every kernel built
+during a test is additionally armed with a
+:class:`~repro.analysis.sanitizer.PinSanitizer`
+(``REPRO_SANITIZE=strict`` raises at the offending operation; any
+other value accumulates and fails the test at teardown).  Tests that
+*provoke* violations — the paper's broken mechanisms doing what the
+paper says they do — scope them out with
+``@pytest.mark.san_suppress("check", ...)``; with no arguments the
+marker skips suite-level arming for that test entirely (for tests
+that manage their own sanitizer or hand-feed event streams)."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.analysis.sanitizer import PinSanitizer
 from repro.core.audit import audit_kernel_invariants
 from repro.kernel.kernel import Kernel
 from repro.sim import costs as costs_mod
@@ -16,10 +30,19 @@ from repro.sim import costs as costs_mod
 _live_kernels: list[Kernel] = []
 _original_kernel_init = Kernel.__init__
 
+_SANITIZE_MODE = os.environ.get("REPRO_SANITIZE", "")
+#: the suite-level sanitizer for the current test, when arming is on
+_suite_sanitizer: list[PinSanitizer] = []
+
 
 def _recording_init(self, *args, **kwargs):
     _original_kernel_init(self, *args, **kwargs)
     _live_kernels.append(self)
+    if _suite_sanitizer:
+        # Armed at construction: a fresh kernel has no pins and no
+        # registrations, so the arming baseline is trivially right even
+        # though a Machine may relabel the hub's host afterwards.
+        _suite_sanitizer[0].arm(self)
 
 
 Kernel.__init__ = _recording_init
@@ -28,11 +51,30 @@ Kernel.__init__ = _recording_init
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_setup(item):
     _live_kernels.clear()
+    _suite_sanitizer.clear()
+    if _SANITIZE_MODE:
+        marker = item.get_closest_marker("san_suppress")
+        if marker is None or marker.args:
+            _suite_sanitizer.append(PinSanitizer(
+                strict=_SANITIZE_MODE == "strict",
+                suppress=marker.args if marker is not None else ()))
     yield
 
 
+@pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_teardown(item, nextitem):
+    # Hookwrapper so a failing audit cannot abort pytest's own
+    # fixture/finalizer teardown (which runs inside the yield).
+    yield
     kernels, _live_kernels[:] = list(_live_kernels), []
+    sanitizers, _suite_sanitizer[:] = list(_suite_sanitizer), []
+    for san in sanitizers:
+        san.disarm()
+        if san.violations:
+            raise AssertionError(
+                f"pin sanitizer recorded {len(san.violations)} "
+                f"violation(s):\n\n"
+                + "\n\n".join(v.format() for v in san.violations))
     if item.get_closest_marker("no_posthoc_audit") is not None:
         return
     for kernel in kernels:

@@ -1,0 +1,22 @@
+"""Fixture: every handler here swallows ProcessKilled (3 findings)."""
+
+
+def swallow_bare():
+    try:
+        work()                              # noqa: F821 (fixture only)
+    except:                                 # noqa: E722  <- finding
+        pass
+
+
+def swallow_exception():
+    try:
+        work()                              # noqa: F821
+    except Exception as exc:
+        log(exc)                            # noqa: F821  <- finding
+
+
+def swallow_by_conversion():
+    try:
+        work()                              # noqa: F821
+    except BaseException as exc:            # <- finding: raise-from is
+        raise RuntimeError("wrapped") from exc  # not a re-raise

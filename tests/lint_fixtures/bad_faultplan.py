@@ -1,0 +1,17 @@
+"""Fixture: FaultPlan knobs that escape validation (2 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultPlan:
+    seed: int = 0
+    loss_rate: float = 0.0
+    burst_len: int = 1                      # <- finding: never validated
+    jitter_rate: float = 0.0                # <- finding: never validated
+
+    def __post_init__(self):
+        if self.seed < 0:
+            raise ValueError("seed")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate")

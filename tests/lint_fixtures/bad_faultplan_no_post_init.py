@@ -1,0 +1,9 @@
+"""Fixture: FaultPlan with knobs but no __post_init__ (1 finding)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultPlan:
+    seed: int = 0
+    loss_rate: float = 0.0

@@ -1,0 +1,15 @@
+"""Fixture: driver-layer code poking kernel state (4 findings).
+
+Only meaningful when linted under a ``repro/via/`` (or msg/mpi)
+relpath — the rule is scoped to the layers above the kernel.
+"""
+
+
+def poke_descriptor(pd):
+    pd.pin_count = 0                        # <- finding
+    pd.flags |= 4                           # <- finding (aug-assign)
+
+
+def call_mutators(kernel, pte):
+    kernel.pagemap.get_page(pte.frame)      # <- finding
+    pte.pd.set_flag(2)                      # <- finding

@@ -1,0 +1,11 @@
+"""Fixture: unguarded metrics-registry access (3 findings)."""
+
+
+def hot_path(obs, n):
+    obs.metrics.counter("ops").inc()                    # <- finding
+    obs.metrics.gauge("depth").set(n)                   # <- finding
+
+
+def wrong_guard(obs, active):
+    if active:                                          # not `.enabled`
+        obs.metrics.histogram("lat_ns").observe(1)      # <- finding

@@ -1,0 +1,49 @@
+"""Fixture: broad handlers that are all ProcessKilled-safe (0 findings)."""
+
+
+def reraises_bare():
+    try:
+        work()                              # noqa: F821 (fixture only)
+    except Exception:
+        cleanup()                           # noqa: F821
+        raise
+
+
+def reraises_bound_name():
+    try:
+        work()                              # noqa: F821
+    except Exception as exc:
+        log(exc)                            # noqa: F821
+        raise exc
+
+
+def protected_by_earlier_handler():
+    try:
+        work()                              # noqa: F821
+    except ProcessKilled:                   # noqa: F821
+        raise
+    except Exception:
+        cleanup()                           # noqa: F821
+
+
+def protected_by_kernel_error():
+    try:
+        work()                              # noqa: F821
+    except KernelError:                     # noqa: F821
+        raise
+    except Exception as exc:
+        return exc
+
+
+def narrow_handler_is_fine():
+    try:
+        work()                              # noqa: F821
+    except ValueError:
+        pass
+
+
+def pragma_suppresses():
+    try:
+        work()                              # noqa: F821
+    except Exception:  # repro-lint: allow(broad-except)
+        pass

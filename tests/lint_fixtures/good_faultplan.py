@@ -1,0 +1,23 @@
+"""Fixture: every FaultPlan knob validated (0 findings)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultPlan:
+    seed: int = 0
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_ns: int = 0
+    _cache: object = None                   # private: exempt
+    stats: object = field(default=None)     # derived stats: exempt
+
+    def __post_init__(self):
+        if self.seed < 0:
+            raise ValueError("seed")
+        # getattr-by-name counts as validated, like the real FaultPlan.
+        for attr in ("loss_rate", "corrupt_rate"):
+            if not 0.0 <= getattr(self, attr) <= 1.0:
+                raise ValueError(attr)
+        if self.delay_ns < 0:
+            raise ValueError("delay_ns")

@@ -1,0 +1,15 @@
+"""Fixture: layer-clean driver code (0 findings under repro/via/)."""
+
+from repro.kernel.kiobuf import map_user_kiobuf
+from repro.kernel.mlock import do_mlock
+
+
+class Backend:
+    def lock(self, kernel, task, va, nbytes):
+        # Audited kernel entry points are the sanctioned route.
+        kio = map_user_kiobuf(kernel, task, va, nbytes)
+        do_mlock(kernel, task, va, nbytes)
+        # Own state is not kernel state.
+        self.count = 1
+        self.frame = kio.frames[0]
+        return kio

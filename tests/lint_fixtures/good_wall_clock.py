@@ -1,0 +1,18 @@
+"""Fixture: deterministic time and randomness (0 findings)."""
+
+from repro.sim.rng import make_rng
+
+
+def stamp(clock):
+    return clock.now_ns                     # sim time, not wall time
+
+
+def dice(seed):
+    rng = make_rng(seed)                    # the audited seeding point
+    return int(rng.integers(0, 6))
+
+
+def unrelated_calls(times):
+    # Methods merely *named* like time functions resolve to their
+    # receiver, not to the time module.
+    return times.time(), times.monotonic()

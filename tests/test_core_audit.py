@@ -21,6 +21,7 @@ class TestTptConsistency:
         ua.register_mem(va, 4 * PAGE_SIZE)
         assert audit_tpt_consistency(m.agent) == []
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_detects_staleness_after_swap(self):
         m = Machine(num_frames=256, backend="refcount")
         t = m.spawn()
@@ -34,6 +35,7 @@ class TestTptConsistency:
         assert all(e.handle == reg.handle for e in stale)
         assert all(e.actual_frame != e.tpt_frame for e in stale)
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_nonresident_pages_reported_as_none(self):
         m = Machine(num_frames=256, backend="refcount")
         t = m.spawn()

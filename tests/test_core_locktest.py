@@ -8,6 +8,7 @@ from repro.core.locktest import (
 )
 
 
+@pytest.mark.san_suppress("swap-registered")
 class TestRefcountFailure:
     """The negative result: refcount-only registration fails."""
 
@@ -67,6 +68,7 @@ class TestReliableBackends:
 
 
 class TestExperimentMechanics:
+    @pytest.mark.san_suppress("swap-registered")
     def test_matrix_runs_all_backends(self):
         results = run_matrix(["refcount", "kiobuf"], buffer_pages=16,
                              num_frames=192)
@@ -81,6 +83,7 @@ class TestExperimentMechanics:
         # the allocator must have pushed something out
         assert int(r.notes[0].split()[4]) > 0
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_deterministic_given_seed(self):
         a = LocktestExperiment("refcount", buffer_pages=16,
                                num_frames=192, seed=7).run()

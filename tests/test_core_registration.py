@@ -100,6 +100,7 @@ class TestAuditAndStats:
         paging.swap_out(m.kernel, m.kernel.pagemap.num_frames)
         assert reg.audit() == []
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_audit_catches_unreliable_backend(self):
         m = Machine(num_frames=256, backend="refcount")
         reg = MemoryRegistrar(m, allow_unreliable=True)

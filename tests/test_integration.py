@@ -59,6 +59,7 @@ class TestMessagingUnderSustainedPressure:
         for m in cluster.machines:
             assert m.kernel.swap.writes > 0
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_unreliable_backend_detected_by_audit(self):
         """The same workload on the refcount backend: the audit oracle
         flags stale TPT entries once the cache's pinned-by-nothing

@@ -47,6 +47,7 @@ class TestMpiUnderPressure:
         assert all(m.kernel.swap.writes > 0
                    for m in world.cluster.machines)
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_refcount_world_breaks_under_pressure(self):
         """With the broken backend, pressure between registration and
         use corrupts communication.  The failure can surface two ways —

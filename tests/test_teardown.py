@@ -261,6 +261,7 @@ class TestInvariantWatchdog:
         wd.disarm()
         pd.unpin()
 
+    @pytest.mark.san_suppress("swap-registered")
     def test_detects_stale_tpt_of_broken_backend(self):
         """The watchdog catches the paper's bug as it happens: refcount
         'locking' lets registered pages swap out, going stale in the

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Command-line front end for :mod:`repro.analysis.lint`.
+
+Usage::
+
+    python tools/repro_lint.py                 # lint src/repro
+    python tools/repro_lint.py src/repro tests # explicit paths
+    python tools/repro_lint.py --select broad-except,wall-clock
+    python tools/repro_lint.py --disable kernel-mutation
+    python tools/repro_lint.py --list-rules
+
+Exits 1 if any finding survives pragmas, 0 otherwise — suitable for
+``make lint`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint import RULES, lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule names to run (default: all)")
+    parser.add_argument(
+        "--disable", metavar="RULES",
+        help="comma-separated rule names to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the known rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, summary in RULES.items():
+            print(f"{name:24s} {summary}")
+        return 0
+
+    rules = set(args.select.split(",")) if args.select else set(RULES)
+    if args.disable:
+        rules -= set(args.disable.split(","))
+    paths = args.paths or [str(REPO_ROOT / "src" / "repro")]
+
+    try:
+        findings = lint_paths(paths, rules)
+    except ValueError as exc:        # unknown rule name
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"repro-lint: clean ({', '.join(sorted(rules))})",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
