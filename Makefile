@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize bench bench-quick tables examples all clean
+.PHONY: install test lint sanitize soak bench bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -21,6 +21,13 @@ lint:
 # The whole suite with the pin sanitizer armed strict on every kernel.
 sanitize:
 	REPRO_SANITIZE=strict $(PY) -m pytest tests/
+
+# The E17 churn soak at full scale: 8 tenants, 2 simulated hours of
+# connect/register/transfer/kill/swap-pressure churn under chaos, with
+# the pin sanitizer strict.  SLOs land in BENCH.json.
+soak:
+	REPRO_SANITIZE=strict $(PY) benchmarks/report.py -o BENCH.json \
+		benchmarks/bench_e17_soak.py
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

@@ -1,0 +1,102 @@
+"""E17 — multi-tenant churn soak: quotas hold for simulated hours.
+
+The registration service's acceptance run: N tenants (default 8) churn
+through transfers, direct registrations, ``munmap`` of registered
+ranges, process kills (a fraction through the buggy teardown path), and
+swap pressure for simulated hours (default 2), under wire/DMA chaos,
+with the pin sanitizer armed strict.  The run itself enforces the
+budget invariants op-by-op; this wrapper asserts the end state —
+
+* zero sanitizer violations and zero pin/kiobuf leaks at final audit,
+* peak total pinned pages ≤ the host ceiling,
+* peak per-tenant pinned pages ≤ the per-uid quota,
+* admission pressure was actually exercised (degradations or denials),
+
+— and publishes the SLO percentiles plus admission counters into
+``BENCH.json``.  Scaled down in CI smoke via ``REPRO_SOAK_TENANTS`` /
+``REPRO_SOAK_SIM_SECONDS``.
+"""
+
+import os
+
+from repro.bench.harness import print_table, record
+from repro.workloads.soak import SoakConfig, run_soak
+
+TENANTS = int(os.environ.get("REPRO_SOAK_TENANTS", "8"))
+SIM_SECONDS = float(os.environ.get("REPRO_SOAK_SIM_SECONDS", "7200"))
+SEED = int(os.environ.get("REPRO_SOAK_SEED", "0"))
+
+
+def test_e17_churn_soak(report):
+    """Sim-hours of tenant churn: budgets hold, nothing leaks."""
+    # Ceiling scales with tenant count (50 pages/tenant — the default
+    # 8×50=400) so the scaled-down CI smoke still contends for pins.
+    config = SoakConfig(tenants=TENANTS, sim_seconds=SIM_SECONDS,
+                        seed=SEED, host_ceiling_pages=50 * TENANTS)
+    rep = run_soak(config)
+
+    sim_hours = rep.sim_ns / 3.6e12
+    assert rep.sim_ns >= SIM_SECONDS * 1e9
+    assert rep.sanitizer_violations == 0, "sanitizer must stay silent"
+    assert rep.leaked_pins == 0, "final audit must find no leaked pins"
+    assert not rep.notes, f"soak ended unclean: {rep.notes}"
+    assert rep.max_host_pinned_pages <= config.host_ceiling_pages
+    assert rep.max_tenant_pinned_pages <= config.tenant_quota_pages
+    assert rep.kills_clean + rep.kills_dirty > 0, "churn must kill"
+    assert rep.transfers_ok > 0 and rep.registrations_sampled > 0
+
+    accepted = denied = degraded = 0
+    for snap in rep.admission.values():
+        for tenant in snap["tenants"].values():
+            accepted += tenant["accepted"]
+            denied += tenant["denied"]
+            degraded += tenant["degraded"]
+    denied += rep.registrations_denied + rep.respawns_denied
+    assert accepted > 0
+    assert denied + degraded > 0, (
+        "the soak must actually contend for the pin budget — raise "
+        "tenants or lower the ceiling")
+
+    slo = rep.latency_slo()
+    record("metrics", "E17 multi-tenant churn soak",
+           tenants=TENANTS, sim_hours=sim_hours,
+           ops=rep.ops, transfers_ok=rep.transfers_ok,
+           transfers_degraded=rep.transfers_degraded,
+           transfers_failed=rep.transfers_failed,
+           endpoint_rebuilds=rep.endpoint_rebuilds,
+           kills_clean=rep.kills_clean, kills_dirty=rep.kills_dirty,
+           admission_accepted=accepted, admission_denied=denied,
+           admission_degraded=degraded,
+           max_host_pinned_pages=rep.max_host_pinned_pages,
+           host_ceiling_pages=config.host_ceiling_pages,
+           max_tenant_pinned_pages=rep.max_tenant_pinned_pages,
+           tenant_quota_pages=config.tenant_quota_pages,
+           reaper_reclaimed=rep.reaper_reclaimed,
+           reaper_by_uid=rep.reaper_by_uid,
+           sanitizer_violations=rep.sanitizer_violations,
+           leaked_pins=rep.leaked_pins, slo=slo)
+
+    if report("E17: multi-tenant churn soak"):
+        print_table(
+            f"E17 — {TENANTS} tenants, {sim_hours:.2f} sim-hours of churn",
+            ["measure", "value"],
+            [["ops total", sum(rep.ops.values())],
+             ["transfers ok / failed", f"{rep.transfers_ok} / "
+              f"{rep.transfers_failed}"],
+             ["kills clean / dirty", f"{rep.kills_clean} / "
+              f"{rep.kills_dirty}"],
+             ["admission accepted / degraded / denied",
+              f"{accepted} / {degraded} / {denied}"],
+             ["peak host pinned (ceiling)",
+              f"{rep.max_host_pinned_pages} ({config.host_ceiling_pages})"],
+             ["peak tenant pinned (quota)",
+              f"{rep.max_tenant_pinned_pages} "
+              f"({config.tenant_quota_pages})"],
+             ["register p50 / p99 ns",
+              f"{slo['register_p50_ns']} / {slo['register_p99_ns']}"],
+             ["transfer p50 / p99 ns",
+              f"{slo['transfer_p50_ns']} / {slo['transfer_p99_ns']}"],
+             ["reaper reclaimed (tenants attributed)",
+              f"{rep.reaper_reclaimed} ({len(rep.reaper_by_uid)})"],
+             ["sanitizer violations / leaked pins",
+              f"{rep.sanitizer_violations} / {rep.leaked_pins}"]])

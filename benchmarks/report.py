@@ -77,7 +77,9 @@ def run(targets: list[str], out_path: Path, quick: bool) -> int:
                 records = [json.loads(line) for line in fh if line.strip()]
 
         host = {}
-        if hostjson_path.exists():
+        # pytest-benchmark leaves the file empty (not absent) when the
+        # selected targets register no host-time benchmarks.
+        if hostjson_path.exists() and hostjson_path.stat().st_size:
             with open(hostjson_path, encoding="utf-8") as fh:
                 data = json.load(fh)
             for bench in data.get("benchmarks", []):

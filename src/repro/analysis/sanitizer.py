@@ -25,6 +25,11 @@ paper's locking mechanisms exist to guarantee.  The violation catalog:
     a registered page was swapped out — the §3.1 locktest failure
     signature (only the deliberately broken refcount backend lets the
     reclaim path do this).
+``quota-breach``
+    a registration pushed its tenant past the pinned-page quota the
+    driver reported for it — admission control and the accounting it
+    relies on have diverged (the event stream is the ground truth the
+    budget books are checked against).
 
 Each violation carries a happens-before trail: the recent events that
 share a frame, pid, or handle with the trigger, in emission order.
@@ -66,6 +71,7 @@ CHECKS: tuple[str, ...] = (
     "tpt-use-after-invalidate",
     "registration-leak",
     "swap-registered",
+    "quota-breach",
 )
 
 #: Backends whose registrations are guarded by VM_LOCKED, and therefore
@@ -104,6 +110,7 @@ class _Registration:
     backend: str
     first_vpn: int
     end_vpn: int
+    uid: int | None = None      #: owning tenant, when the event said
 
 
 @dataclass
@@ -153,6 +160,10 @@ class PinSanitizer:
         self._reg_frames: dict[tuple[Any, int], set[int]] = {}
         #: TPT handles seen invalidated, per (scope, handle)
         self._tpt_dead: set[tuple[Any, int]] = set()
+        #: pinned pages per (scope, uid), from REGISTER/DEREGISTER
+        self._uid_pages: dict[tuple[Any, int], int] = {}
+        #: last quota each (scope, uid) was registered under
+        self._uid_quota: dict[tuple[Any, int], int] = {}
         self._handlers: dict[str, Callable[[SanEvent, Any], None]] = {
             ev.PIN: self._on_pin,
             ev.UNPIN: self._on_unpin,
@@ -230,12 +241,16 @@ class PinSanitizer:
                 self._pins[(scope, pd.frame)] = pd.pin_count
         for agent in agents:
             for reg in agent.registrations.values():
+                uid = reg.uid if reg.uid >= 0 else None
                 self._track_registration(
                     scope, handle=reg.handle, pid=reg.pid,
                     frames=tuple(reg.region.frames),
                     backend=reg.backend_name,
                     first_vpn=reg.region.first_vpn,
-                    end_vpn=reg.region.first_vpn + reg.region.npages)
+                    end_vpn=reg.region.first_vpn + reg.region.npages,
+                    uid=uid,
+                    quota_pages=(agent.tenants.quota_of(uid)
+                                 if uid is not None else None))
         self._unsubscribes.append(hub.subscribe(
             lambda event, _scope=scope: self.handle(event, scope=_scope)))
         self._attach_collector(kernel.obs)
@@ -364,19 +379,33 @@ class PinSanitizer:
 
     def _track_registration(self, scope: Any, *, handle: int, pid: int,
                             frames: tuple[int, ...], backend: str,
-                            first_vpn: int, end_vpn: int) -> None:
+                            first_vpn: int, end_vpn: int,
+                            uid: int | None = None,
+                            quota_pages: int | None = None) -> None:
         reg = _Registration(handle=handle, pid=pid, frames=frames,
                             backend=backend, first_vpn=first_vpn,
-                            end_vpn=end_vpn)
+                            end_vpn=end_vpn, uid=uid)
         self._regs[(scope, handle)] = reg
         self._regs_by_pid.setdefault((scope, pid), set()).add(handle)
         for frame in frames:
             self._reg_frames.setdefault((scope, frame), set()).add(handle)
+        if uid is not None:
+            key = (scope, uid)
+            self._uid_pages[key] = self._uid_pages.get(key, 0) + len(frames)
+            if quota_pages is not None:
+                self._uid_quota[key] = quota_pages
 
     def _untrack_registration(self, scope: Any, handle: int) -> None:
         reg = self._regs.pop((scope, handle), None)
         if reg is None:
             return   # registered before arming; nothing tracked
+        if reg.uid is not None:
+            key = (scope, reg.uid)
+            remaining = self._uid_pages.get(key, 0) - len(reg.frames)
+            if remaining > 0:
+                self._uid_pages[key] = remaining
+            else:
+                self._uid_pages.pop(key, None)
         pid_key = (scope, reg.pid)
         handles = self._regs_by_pid.get(pid_key)
         if handles is not None:
@@ -483,11 +512,26 @@ class PinSanitizer:
                 handle=handle)
 
     def _on_register(self, event: SanEvent, scope: Any) -> None:
+        uid = event.get("uid")
+        quota = event.get("quota_pages")
         self._track_registration(
             scope, handle=event["handle"], pid=event["pid"],
             frames=tuple(event["frames"]), backend=event["backend"],
             first_vpn=event["first_vpn"],
-            end_vpn=event["first_vpn"] + event["npages"])
+            end_vpn=event["first_vpn"] + event["npages"],
+            uid=uid, quota_pages=quota)
+        if uid is None:
+            return
+        key = (scope, uid)
+        limit = self._uid_quota.get(key)
+        total = self._uid_pages.get(key, 0)
+        if limit is not None and total > limit:
+            self._report(
+                "quota-breach", event, scope,
+                f"registration handle {event['handle']} pushed uid {uid} "
+                f"to {total} pinned pages, past its quota of {limit} — "
+                f"admission control and tenant accounting disagree",
+                pid=event["pid"], handle=event["handle"])
 
     def _on_deregister(self, event: SanEvent, scope: Any) -> None:
         self._untrack_registration(scope, event["handle"])

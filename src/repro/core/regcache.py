@@ -114,6 +114,10 @@ class RegistrationCache:
         self._pages_total = 0
         self._tick = 0
         self.stats = CacheStats()
+        # Per-tenant sharding: the cache registers itself with the
+        # agent's tenant service so admission pressure can shed its
+        # unused entries (tenant-local first) instead of denying.
+        agent.tenants.attach_cache(self)
 
     def _publish_stats(self, obs) -> None:
         """Bridge :class:`CacheStats` into the metrics registry (called
@@ -266,6 +270,30 @@ class RegistrationCache:
                 entry.users -= 1
                 return
         raise ViaError(f"release of unacquired range [{va}, {va + nbytes})")
+
+    def shed(self, target_pages: int | None = None) -> int:
+        """Admission-pressure hook: evict unused entries, cold end
+        first, until ``target_pages`` pinned pages were released (None =
+        everything unused).  Entries whose registration is already gone
+        — the owner died and the exit path (or the reaper) deregistered
+        underneath the cache — are purged as pure bookkeeping, without a
+        kernel call and without counting toward the released total.
+        Returns pinned pages actually released."""
+        freed = 0
+        for key in list(self._entries):
+            if target_pages is not None and freed >= target_pages:
+                break
+            entry = self._entries.get(key)
+            if entry is None or entry.users > 0:
+                continue
+            del self._entries[key]
+            self._index_remove(entry)
+            handle = entry.registration.handle
+            if handle in self.agent.registrations:
+                self.agent.deregister_memory(handle)
+                self.stats.evictions += 1
+                freed += entry.registration.region.npages
+        return freed
 
     def flush(self) -> int:
         """Deregister every unused entry; returns how many were dropped."""

@@ -196,6 +196,38 @@ def __getattr__(name: str):
         f"module {__name__!r} has no attribute {name!r}")
 
 
+class AdmissionError(ViaError):
+    """Admission control rejected a registration before any pin was
+    taken.
+
+    Carries ``VIP_ERROR_RESOURCE`` deliberately: the stack already knows
+    how to survive resource pressure (the registration cache evicts and
+    retries, the rendezvous protocol degrades to copy), and an admission
+    rejection must flow down exactly those paths rather than inventing a
+    parallel recovery story.  ``uid``/``requested_pages``/``limit_pages``
+    /``pinned_pages`` say which budget was short and by how much.
+    """
+
+    def __init__(self, message: str, uid: int | None = None,
+                 requested_pages: int = 0, limit_pages: int | None = None,
+                 pinned_pages: int = 0):
+        super().__init__(message, status="VIP_ERROR_RESOURCE")
+        self.uid = uid
+        self.requested_pages = requested_pages
+        self.limit_pages = limit_pages
+        self.pinned_pages = pinned_pages
+
+
+class QuotaExceeded(AdmissionError):
+    """A tenant's ``RLIMIT_MEMLOCK``-style pinned-page budget is
+    exhausted and eviction pressure could not free enough of it."""
+
+
+class PinCeilingExceeded(AdmissionError):
+    """The host-wide physical-pin ceiling is exhausted — admitting the
+    registration would let pinned pages crowd out reclaimable memory."""
+
+
 class QueueEmpty(ViaError):
     """A receive arrived (or a poll was attempted) with no posted
     descriptor.  Under ``RELIABLE_DELIVERY`` the VIA spec breaks the

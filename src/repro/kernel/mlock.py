@@ -28,6 +28,7 @@ from repro.hw.physmem import PAGE_SIZE
 from repro.kernel.capabilities import CAP_IPC_LOCK, capable
 from repro.kernel.fault import handle_fault
 from repro.kernel.flags import VM_LOCKED, VM_WRITE
+from repro.sim.faults import crash_if_due
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -118,11 +119,16 @@ def mlock_with_cap_dance(kernel: "Kernel", task: "Task", va: int,
     through the *checked* syscall path, then revoke it.
 
     Restores the capability set exactly (if the task already held the
-    capability it keeps it)."""
+    capability it keeps it), **on every exit path**: an mlock failure —
+    or the process dying inside the window (the ``mlock.cap_raised``
+    crash point) — must not leave an unprivileged task holding
+    CAP_IPC_LOCK, or one crashed registration would mint a permanently
+    privileged process."""
     from repro.kernel.capabilities import cap_lower, cap_raise
     had = CAP_IPC_LOCK in task.capabilities
     cap_raise(task, CAP_IPC_LOCK)
     try:
+        crash_if_due(kernel.fault_plan, kernel, task, "mlock.cap_raised")
         sys_mlock(kernel, task, va, nbytes)
     finally:
         if not had:

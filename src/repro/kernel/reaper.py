@@ -54,6 +54,13 @@ class ReaperReport:
     failures: int = 0                    #: reclaim attempts that raised
     deferred: int = 0                    #: items still in their backoff window
     notes: list[str] = field(default_factory=list)
+    #: reclaimed items by owning pid (items with an identifiable owner:
+    #: registrations, kiobufs, VIs, flushed descriptors)
+    reclaimed_by_pid: dict[int, int] = field(default_factory=dict)
+    #: the same, attributed to the owning tenant's uid — so obs and the
+    #: soak harness can tell *which tenant's* debris the reaper is
+    #: cleaning up
+    reclaimed_by_uid: dict[int, int] = field(default_factory=dict)
 
     @property
     def reclaimed_total(self) -> int:
@@ -61,6 +68,20 @@ class ReaperReport:
                 + self.kiobufs_reclaimed + self.vis_reclaimed
                 + self.descriptors_flushed + self.orphan_frames_freed
                 + self.pins_force_released)
+
+    def attribute(self, pid: int | None, uid: int | None,
+                  n: int = 1) -> None:
+        """Charge ``n`` reclaimed items to their owner.  Items with no
+        identifiable owner (orphan frames, unexplained pins) pass None
+        and stay unattributed."""
+        if n <= 0:
+            return
+        if pid is not None:
+            self.reclaimed_by_pid[pid] = (
+                self.reclaimed_by_pid.get(pid, 0) + n)
+        if uid is not None:
+            self.reclaimed_by_uid[uid] = (
+                self.reclaimed_by_uid.get(uid, 0) + n)
 
 
 @dataclass
@@ -157,6 +178,9 @@ class OrphanReaper:
             metrics.counter("kernel.reaper.deferred").inc(report.deferred)
             metrics.counter("kernel.reaper.forced").inc(
                 report.registrations_forced)
+            for uid, n in report.reclaimed_by_uid.items():
+                metrics.counter(
+                    f"kernel.reaper.tenant.{uid}.reclaimed").inc(n)
         if report.reclaimed_total or report.failures:
             kernel.trace.emit("reaper_scan", scan=report.scan_index,
                               reclaimed=report.reclaimed_total,
@@ -169,6 +193,21 @@ class OrphanReaper:
 
     def _alive(self, pid: int) -> bool:
         return any(t.pid == pid for t in self.kernel.tasks)
+
+    def _uid_of(self, pid: int) -> int | None:
+        """Resolve a (possibly dead) pid to its tenant uid through the
+        agents' tenant services, which keep pid→uid past death exactly
+        for this posthumous attribution."""
+        for agent in self.agents:
+            uid = agent.tenants.uid_of(pid)
+            if uid is not None:
+                return uid
+        return None
+
+    def _reg_uid(self, reg) -> int | None:
+        """A registration's tenant (falling back to the pid map for
+        records predating uid tracking)."""
+        return reg.uid if reg.uid >= 0 else self._uid_of(reg.pid)
 
     def _attempt(self, key: tuple, action: Callable[[], None],
                  report: ReaperReport) -> bool:
@@ -220,6 +259,7 @@ class OrphanReaper:
                     agent.forget_registration(reg.handle)
                     self._backoff.pop(key, None)
                     report.registrations_forced += 1
+                    report.attribute(reg.pid, self._reg_uid(reg))
                     report.notes.append(
                         f"forced handle {reg.handle} of dead pid "
                         f"{reg.pid} after {self.max_attempts} attempts")
@@ -230,6 +270,7 @@ class OrphanReaper:
                                  a.reclaim_registration(h),
                                  report):
                     report.registrations_reclaimed += 1
+                    report.attribute(reg.pid, self._reg_uid(reg))
 
     def _reap_dead_kiobufs(self, report: ReaperReport) -> None:
         """Kiobufs pinning pages for a dead pid.
@@ -251,6 +292,7 @@ class OrphanReaper:
                              lambda k=kio: self.kernel.unmap_kiobuf(k),
                              report):
                 report.kiobufs_reclaimed += 1
+                report.attribute(kio.pid, self._uid_of(kio.pid))
 
     def _reap_dead_vis(self, report: ReaperReport) -> None:
         """VIs owned by a dead pid; also drops its protection tag."""
@@ -265,6 +307,8 @@ class OrphanReaper:
                                  n.teardown_vi(v, reason="reaper"),
                                  report):
                     report.vis_reclaimed += 1
+                    report.attribute(vi.owner_pid,
+                                     self._uid_of(vi.owner_pid))
             for pid in [p for p in agent._tags if not self._alive(p)]:
                 agent._tags.pop(pid, None)
 
@@ -290,6 +334,8 @@ class OrphanReaper:
                         desc.complete("VIP_ERROR_CONN_LOST", 0)
                         complete(desc)
                         report.descriptors_flushed += 1
+                        report.attribute(vi.owner_pid,
+                                         self._uid_of(vi.owner_pid))
                         self.kernel.trace.emit(
                             "reaper_descriptor_flush", vi=vi.vi_id,
                             posted_at_ns=desc.posted_at_ns,

@@ -53,9 +53,12 @@ REGISTRATION_CRASH_POINTS: tuple[str, ...] = (
 #: Crash points inside the kernel itself (backend-specific, so not part
 #: of the backend-agnostic registration sweep): mid-pin in
 #: ``map_user_kiobuf``, after a page was pinned but before the kiobuf
-#: record exists.
+#: record exists; and inside the capability dance, after ``cap_raise``
+#: granted CAP_IPC_LOCK but before ``mlock`` ran — the window where a
+#: death must not leave the capability behind.
 KERNEL_CRASH_POINTS: tuple[str, ...] = (
     "kiobuf.pin",
+    "mlock.cap_raised",
 )
 
 #: Crash points inside a rendezvous zero-copy transfer, mapping each

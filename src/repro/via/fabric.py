@@ -141,12 +141,19 @@ class Fabric:
 
     def disconnect(self, nic_a: "VIANic", vi_a: int) -> None:
         """Tear a connection down from one side; the peer goes to ERROR
-        if it was still connected (it lost its connection)."""
+        if it was still connected (it lost its connection).
+
+        The peer may already be *gone*, not just disconnected: when both
+        ranks of a pair exit, the first exit destroys its VI while the
+        survivor's ``peer`` pointer still names it.  A dangling peer is
+        simply nothing to notify — it must not make the second teardown
+        fail."""
         a = nic_a.vi(vi_a)
         if a.peer is not None:
             peer_nic, peer_vi = a.peer
-            b = self.nic(peer_nic).vi(peer_vi)
-            if b.state == ViState.CONNECTED:
+            nic_b = self.nics.get(peer_nic)
+            b = nic_b.vis.get(peer_vi) if nic_b is not None else None
+            if b is not None and b.state == ViState.CONNECTED:
                 b.enter_error()
         a.peer = None
         a.state = ViState.IDLE

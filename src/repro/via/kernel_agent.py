@@ -25,6 +25,7 @@ from repro.via.constants import VIP_ERROR_RESOURCE, ReliabilityLevel
 from repro.via.cq import CompletionQueue
 from repro.via.locking import make_backend
 from repro.via.locking.base import LockingBackend
+from repro.via.tenancy import TenantService
 from repro.via.tpt import MemoryRegion
 from repro.via.vi import VirtualInterface
 
@@ -46,6 +47,8 @@ class Registration:
     va: int
     nbytes: int
     backend_name: str
+    #: owning tenant; -1 only for records predating uid tracking
+    uid: int = -1
 
     @property
     def handle(self) -> int:
@@ -56,11 +59,21 @@ class KernelAgent:
     """Driver instance binding one NIC to one kernel."""
 
     def __init__(self, kernel: "Kernel", nic: "VIANic",
-                 backend: LockingBackend | str = "kiobuf") -> None:
+                 backend: LockingBackend | str = "kiobuf",
+                 tenants: TenantService | None = None,
+                 tenant_quota_pages: int | None = None,
+                 host_pin_ceiling_pages: int | None = None) -> None:
         self.kernel = kernel
         self.nic = nic
         self.backend: LockingBackend = (
             make_backend(backend) if isinstance(backend, str) else backend)
+        #: the multi-tenant registration service: per-uid pinned-page
+        #: budgets and the host pin ceiling, consulted before every pin.
+        #: Defaults to a fully open service (no quota, no ceiling).
+        self.tenants: TenantService = (
+            tenants if tenants is not None else TenantService(
+                kernel, default_quota_pages=tenant_quota_pages,
+                host_ceiling_pages=host_pin_ceiling_pages))
         #: protection tag per pid ("usually, a process uses a unique
         #: protection tag which is created after opening the VIA
         #: environment")
@@ -85,6 +98,7 @@ class KernelAgent:
         if tag is None:
             tag = next(_tags)
             self._tags[task.pid] = tag
+        self.tenants.note_task(task)
         return tag
 
     def prot_tag(self, task: "Task") -> int:
@@ -127,6 +141,11 @@ class KernelAgent:
                                    backend=self.backend.name)
             raise ViaError("injected pin failure",
                            status=VIP_ERROR_RESOURCE)
+        # Admission control, before any pin is taken: the tenant budget
+        # and the host ceiling see the same page-aligned count the
+        # backend is about to pin.  A rejection here needs no cleanup.
+        npages = ((va + nbytes - 1) // PAGE_SIZE) - (va // PAGE_SIZE) + 1
+        self.tenants.admit(task, npages)
         result = self.backend.lock(self.kernel, task, va, nbytes)
         # Crash here = the process died pinned-but-uninstalled; the exit
         # path's kiobuf sweep (or the reaper) must release the pin.
@@ -151,13 +170,20 @@ class KernelAgent:
             len(result.frames) * self.kernel.costs.tpt_update_ns,
             "register")
         reg = Registration(region=region, pid=task.pid, va=va,
-                           nbytes=nbytes, backend_name=self.backend.name)
+                           nbytes=nbytes, backend_name=self.backend.name,
+                           uid=task.uid)
         self.registrations[region.handle] = reg
+        # Charge while the record exists: a crash at register.installed
+        # runs the exit path's deregistration, whose credit must find
+        # the charge already booked.
+        self.tenants.charge(reg)
         if self.kernel.events.active:
             self.kernel.events.emit(
                 REGISTER, handle=region.handle, pid=task.pid,
                 frames=tuple(result.frames), backend=self.backend.name,
-                first_vpn=region.first_vpn, npages=region.npages)
+                first_vpn=region.first_vpn, npages=region.npages,
+                uid=task.uid,
+                quota_pages=self.tenants.quota_of(task.uid))
         self.kernel.trace.emit("via_register", pid=task.pid, va=va,
                                nbytes=nbytes, handle=region.handle,
                                backend=self.backend.name)
@@ -171,6 +197,9 @@ class KernelAgent:
         reg = self.registrations.pop(handle, None)
         if reg is None:
             raise NotRegistered(f"no registration with handle {handle}")
+        # Credit follows the record: it is gone as of the pop above,
+        # even if the unlock below fails (that leak is the reaper's).
+        self.tenants.credit(reg)
         # DEREGISTER is emitted before the backend unlocks: the unlock's
         # own events (an mlock backend's MUNLOCK) must be attributable to
         # a *dead* registration, or the sanitizer's §3.2 nesting check
@@ -204,6 +233,7 @@ class KernelAgent:
             self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         self.backend.unlock(self.kernel, reg.region.lock_cookie)
         self.registrations.pop(handle, None)
+        self.tenants.credit(reg)
         region = self.nic.tpt.remove(handle)
         self.kernel.clock.charge(
             region.npages * self.kernel.costs.tpt_update_ns, "register")
@@ -219,6 +249,7 @@ class KernelAgent:
         reg = self.registrations.pop(handle, None)
         if reg is None:
             raise NotRegistered(f"no registration with handle {handle}")
+        self.tenants.credit(reg)
         if self.kernel.events.active:
             self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         self.nic.tpt.remove(handle)

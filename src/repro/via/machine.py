@@ -37,7 +37,9 @@ class Machine:
                  trace: Trace | None = None,
                  fabric: Fabric | None = None,
                  obs: Observability | None = None,
-                 min_free_pages: int = 8) -> None:
+                 min_free_pages: int = 8,
+                 tenant_quota_pages: int | None = None,
+                 host_pin_ceiling_pages: int | None = None) -> None:
         self.name = name
         self.kernel = Kernel(num_frames=num_frames, swap_slots=swap_slots,
                              costs=costs, seed=seed, clock=clock,
@@ -49,9 +51,17 @@ class Machine:
         self.kernel.events.host = name
         self.nic = VIANic(f"{name}.nic0", self.kernel,
                           tpt_entries=tpt_entries)
-        self.agent = KernelAgent(self.kernel, self.nic, backend=backend)
+        self.agent = KernelAgent(
+            self.kernel, self.nic, backend=backend,
+            tenant_quota_pages=tenant_quota_pages,
+            host_pin_ceiling_pages=host_pin_ceiling_pages)
         self.fabric = fabric if fabric is not None else Fabric(seed=seed)
         self.fabric.attach(self.nic)
+
+    @property
+    def tenants(self):
+        """The machine's tenant registration service (quota/admission)."""
+        return self.agent.tenants
 
     @property
     def backend(self) -> LockingBackend:
@@ -113,7 +123,9 @@ class Cluster:
                  seed: int = 0,
                  backend: LockingBackend | str = "kiobuf",
                  tpt_entries: int = 8192,
-                 min_free_pages: int = 8) -> None:
+                 min_free_pages: int = 8,
+                 tenant_quota_pages: int | None = None,
+                 host_pin_ceiling_pages: int | None = None) -> None:
         self.clock = SimClock()
         self.trace = Trace(self.clock)
         self.obs = Observability(self.clock)
@@ -131,7 +143,9 @@ class Cluster:
                 costs=costs, seed=seed + i, backend=be,
                 tpt_entries=tpt_entries, clock=self.clock,
                 trace=self.trace, fabric=self.fabric, obs=self.obs,
-                min_free_pages=min_free_pages))
+                min_free_pages=min_free_pages,
+                tenant_quota_pages=tenant_quota_pages,
+                host_pin_ceiling_pages=host_pin_ceiling_pages))
 
     def inject_faults(self, plan):
         """Wire a :class:`~repro.sim.faults.FaultPlan` (or None to

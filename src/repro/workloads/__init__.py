@@ -4,8 +4,9 @@ from repro.workloads.allocator import MemoryHog, apply_memory_pressure
 from repro.workloads.patterns import (
     buffer_reuse_trace, size_sweep, SweepPoint,
 )
+from repro.workloads.soak import SoakConfig, SoakReport, run_soak
 
 __all__ = [
     "MemoryHog", "apply_memory_pressure", "buffer_reuse_trace",
-    "size_sweep", "SweepPoint",
+    "size_sweep", "SweepPoint", "SoakConfig", "SoakReport", "run_soak",
 ]

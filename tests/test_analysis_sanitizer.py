@@ -447,5 +447,5 @@ def test_check_catalog_is_exact():
     assert CHECKS == (
         "dma-unpinned-frame", "dma-swapped-frame", "mlock-nesting",
         "pin-underflow", "tpt-use-after-invalidate", "registration-leak",
-        "swap-registered")
+        "swap-registered", "quota-breach")
     assert MLOCK_BACKENDS == {"mlock", "mlock_naive"}

@@ -119,9 +119,11 @@ class TestAuditExceptionDiscipline:
 
 
 def test_kiobuf_pin_is_a_registered_crash_point():
-    assert KERNEL_CRASH_POINTS == ("kiobuf.pin",)
+    assert KERNEL_CRASH_POINTS == ("kiobuf.pin", "mlock.cap_raised")
     assert "kiobuf.pin" in CRASH_POINTS
+    assert "mlock.cap_raised" in CRASH_POINTS
     assert "register.install" in REGISTRATION_CRASH_POINTS
     # A plan naming them validates.
     FaultPlan(crash_point="kiobuf.pin")
+    FaultPlan(crash_point="mlock.cap_raised")
     FaultPlan(crash_point="register.install")

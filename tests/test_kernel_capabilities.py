@@ -1,0 +1,127 @@
+"""The capability model gating mlock, and the Kernel Agent's
+cap_raise/do_mlock/cap_lower dance — including its exception safety.
+
+Section 3.2: "only root processes have got the CAP_IPC_LOCK capability
+for locking memory"; the Kernel Agent "can grant that capability to the
+current process by means of cap_raise(), then call do_mlock and reclaim
+the capability again by cap_lower()".  The reclaim half must hold on
+*every* exit path: a failed mlock — or the process dying inside the
+raised window — must not mint a permanently privileged task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgument, PermissionDenied, ProcessKilled
+from repro.hw.physmem import PAGE_SIZE
+from repro.kernel.capabilities import (
+    CAP_IPC_LOCK, ROOT_UID, cap_lower, cap_raise, capable,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.mlock import mlock_with_cap_dance, sys_mlock
+from repro.sim.faults import FaultPlan
+from repro.via.machine import Machine
+
+
+class TestCapableSemantics:
+    def test_non_root_starts_without_cap_ipc_lock(self):
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        assert not capable(task, CAP_IPC_LOCK)
+
+    def test_root_is_implicitly_capable(self):
+        """Root holds every capability without an explicit grant."""
+        kernel = Kernel()
+        root = kernel.create_task(uid=ROOT_UID)
+        assert CAP_IPC_LOCK not in root.capabilities
+        assert capable(root, CAP_IPC_LOCK)
+        assert capable(root, "CAP_SYS_ADMIN")
+
+    def test_raise_then_lower_round_trips(self):
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        cap_raise(task, CAP_IPC_LOCK)
+        assert capable(task, CAP_IPC_LOCK)
+        cap_lower(task, CAP_IPC_LOCK)
+        assert not capable(task, CAP_IPC_LOCK)
+
+    def test_cap_lower_is_idempotent(self):
+        """Lowering a capability the task does not hold is a no-op, so
+        error paths may lower unconditionally."""
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        cap_lower(task, CAP_IPC_LOCK)
+        cap_lower(task, CAP_IPC_LOCK)
+        assert not capable(task, CAP_IPC_LOCK)
+
+
+class TestSysMlockGate:
+    def test_non_root_mlock_denied(self):
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        va = task.mmap(2)
+        with pytest.raises(PermissionDenied):
+            sys_mlock(kernel, task, va, 2 * PAGE_SIZE)
+
+    def test_root_mlock_allowed(self):
+        kernel = Kernel()
+        root = kernel.create_task(uid=ROOT_UID)
+        va = root.mmap(2)
+        sys_mlock(kernel, root, va, 2 * PAGE_SIZE)
+        assert root.resident_pages() >= 2
+
+    def test_agent_registration_succeeds_for_non_root(self):
+        """The whole point of the dance: an unprivileged process can
+        register memory *through the Kernel Agent* even though its own
+        mlock would be denied."""
+        machine = Machine(backend="mlock")
+        task = machine.spawn("app", uid=1000)
+        ua = machine.user_agent(task)
+        va = task.mmap(2)
+        task.touch_pages(va, 2)
+        reg = ua.register_mem(va, 2 * PAGE_SIZE)
+        assert reg.handle in machine.agent.registrations
+        assert not capable(task, CAP_IPC_LOCK)
+
+
+class TestCapDanceExceptionSafety:
+    def test_dance_restores_unprivileged_set(self):
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        va = task.mmap(2)
+        mlock_with_cap_dance(kernel, task, va, 2 * PAGE_SIZE)
+        assert CAP_IPC_LOCK not in task.capabilities
+
+    def test_dance_keeps_preheld_capability(self):
+        """A task that already held CAP_IPC_LOCK keeps it afterwards —
+        the dance restores the set exactly, it does not blindly lower."""
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        cap_raise(task, CAP_IPC_LOCK)
+        va = task.mmap(2)
+        mlock_with_cap_dance(kernel, task, va, 2 * PAGE_SIZE)
+        assert CAP_IPC_LOCK in task.capabilities
+
+    def test_failed_mlock_does_not_leak_capability(self):
+        kernel = Kernel()
+        task = kernel.create_task(uid=1000)
+        with pytest.raises(InvalidArgument):
+            # unmapped range: sys_mlock raises after the raise half
+            mlock_with_cap_dance(kernel, task, 0x7000_0000, PAGE_SIZE)
+        assert CAP_IPC_LOCK not in task.capabilities
+
+    def test_death_inside_raised_window_does_not_leak_capability(self):
+        """The ``mlock.cap_raised`` crash point: the process dies with
+        the capability temporarily raised; the finally-path must still
+        reclaim it (a respawned pid must not inherit privilege through
+        any leftover task state)."""
+        kernel = Kernel()
+        kernel.fault_plan = FaultPlan(seed=1,
+                                      crash_point="mlock.cap_raised")
+        task = kernel.create_task(uid=1000)
+        va = task.mmap(2)
+        with pytest.raises(ProcessKilled):
+            mlock_with_cap_dance(kernel, task, va, 2 * PAGE_SIZE)
+        assert CAP_IPC_LOCK not in task.capabilities
+        assert not any(t.pid == task.pid for t in kernel.tasks)
