@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize soak bench bench-quick tables examples all clean
+.PHONY: install test lint sanitize soak bench bench-e18 bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -28,6 +28,14 @@ sanitize:
 soak:
 	REPRO_SANITIZE=strict $(PY) benchmarks/report.py -o BENCH.json \
 		benchmarks/bench_e17_soak.py
+
+# The E18 simulator-core scale-out A/B at full scale: calendar events +
+# vectorized frame table + batched posting vs the legacy per-charge /
+# full-scan / one-at-a-time core.  Asserts the >=3x whole-cluster
+# throughput gate; numbers land in BENCH.json.
+bench-e18:
+	$(PY) benchmarks/report.py -o BENCH.json \
+		benchmarks/bench_e18_cluster_scale.py
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

@@ -39,6 +39,13 @@ kind a reviewer has to re-derive on every PR:
     validated in ``__post_init__``: a typo'd or out-of-range fault plan
     must fail at construction, not half-way through a chaos run.
 
+``clock-subscribe``
+    ``clock.subscribe(...)`` is the deprecated per-charge fan-out model
+    of periodic work — every watcher re-runs on every single charge, the
+    hottest path in the simulator.  Periodic daemons must use the event
+    calendar (``clock.schedule_after`` / ``schedule_at``); the clock
+    module itself and explicitly pragma'd legacy A/B arms are exempt.
+
 Findings on a line carrying ``# repro-lint: allow(<rule>, ...)`` (or
 whose preceding line carries it) are suppressed; rules can also be
 enabled/disabled wholesale per :class:`Linter`.
@@ -64,6 +71,8 @@ RULES: dict[str, str] = {
         "kernel page state mutated above the kernel layer",
     "faultplan-validation":
         "FaultPlan knob not validated in __post_init__",
+    "clock-subscribe":
+        "per-charge clock.subscribe() instead of a calendar event",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\(([^)]*)\)")
@@ -100,6 +109,9 @@ _KERNEL_MUTATOR_METHODS = frozenset({
 
 #: The observability implementation itself (guards internally).
 _OBS_EXEMPT_PREFIX = "repro/obs/"
+
+#: The scheduler/shim module — the one place `subscribe` may live.
+_CLOCK_SUBSCRIBE_EXEMPT_FILES = ("repro/sim/clock.py",)
 
 
 @dataclass(frozen=True)
@@ -219,6 +231,9 @@ class Linter:
             findings += self._check_kernel_mutation(tree, path)
         if "faultplan-validation" in self.rules:
             findings += self._check_faultplan(tree, path)
+        if "clock-subscribe" in self.rules \
+                and not rel.endswith(_CLOCK_SUBSCRIBE_EXEMPT_FILES):
+            findings += self._check_clock_subscribe(tree, path)
         findings = [f for f in findings
                     if f.rule not in allowed.get(f.line, ())
                     and f.rule not in allowed.get(f.line - 1, ())]
@@ -476,6 +491,23 @@ class Linter:
                         path, lineno, col, "faultplan-validation",
                         f"FaultPlan knob `{name}` is never validated "
                         f"in __post_init__"))
+        return findings
+
+
+    @staticmethod
+    def _check_clock_subscribe(tree: ast.AST,
+                               path: str) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "subscribe"
+                    and _last_name(node.func.value) in ("clock", "_clock")):
+                findings.append(LintFinding(
+                    path, node.lineno, node.col_offset, "clock-subscribe",
+                    "per-charge `clock.subscribe(...)` re-runs every "
+                    "watcher on every charge; schedule a calendar event "
+                    "with `clock.schedule_after(...)` instead"))
         return findings
 
 

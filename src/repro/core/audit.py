@@ -75,7 +75,8 @@ class LeakedPin:
 
 
 def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent",
-                    count_kiobufs: bool = False) -> list[LeakedPin]:
+                    count_kiobufs: bool = False,
+                    full_scan: bool = False) -> list[LeakedPin]:
     """Find frames whose pin count exceeds what live registrations
     explain — the leak signature of an error path that dropped a
     registration record without releasing its pin.
@@ -93,6 +94,11 @@ def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent",
     (mapped) kiobufs — required when sampling at arbitrary points (the
     invariant watchdog's cadence), where a registration may legimately
     be halfway built: pinned by its kiobuf but not yet recorded.
+
+    Only frames the page map's pinned set names can leak (a frame with
+    zero pins never exceeds its expectation), so the audit is
+    O(pinned + registered), not O(frames); ``full_scan=True`` keeps the
+    legacy whole-table walk for the E18 before/after arms.
     """
     expected: Counter[int] = Counter()
     for agent in agents:
@@ -105,15 +111,24 @@ def audit_pin_leaks(kernel: "Kernel", *agents: "KernelAgent",
                 for frame in kio.frames:
                     expected[frame] += 1
     leaks: list[LeakedPin] = []
-    for pd in kernel.pagemap:
-        if pd.pin_count > expected.get(pd.frame, 0):
-            leaks.append(LeakedPin(frame=pd.frame,
-                                   pin_count=pd.pin_count,
-                                   expected=expected.get(pd.frame, 0)))
+    if full_scan:
+        for pd in kernel.pagemap:
+            if pd.pin_count > expected.get(pd.frame, 0):
+                leaks.append(LeakedPin(frame=pd.frame,
+                                       pin_count=pd.pin_count,
+                                       expected=expected.get(pd.frame, 0)))
+        return leaks
+    pin_counts = kernel.pagemap.table.pin_counts
+    for frame in kernel.pagemap.pinned_frames():
+        if pin_counts[frame] > expected.get(frame, 0):
+            leaks.append(LeakedPin(frame=frame,
+                                   pin_count=pin_counts[frame],
+                                   expected=expected.get(frame, 0)))
     return leaks
 
 
-def audit_kernel_invariants(kernel: "Kernel") -> None:
+def audit_kernel_invariants(kernel: "Kernel", full_scan: bool = False,
+                            ) -> None:
     """Raise :class:`~repro.errors.PageAccountingError` if any kernel
     accounting invariant is violated.
 
@@ -124,8 +139,13 @@ def audit_kernel_invariants(kernel: "Kernel") -> None:
     3. a frame mapped by a present PTE has refcount ≥ 1,
     4. every swap slot is referenced by at most one PTE,
     5. pinned frames are in use (pin without reference is impossible).
+
+    Invariant 5 and the negative-counter check run against the frame
+    table's columns and pinned set — an ``array`` ``min()`` plus a walk
+    of only the pinned frames — instead of visiting every descriptor;
+    ``full_scan=True`` restores the legacy walk (E18 A/B arms).
     """
-    kernel.pagemap.check_free_list()
+    kernel.pagemap.check_free_list(full_scan=full_scan)
 
     slot_owner: dict[int, tuple[int, int]] = {}
     for task in kernel.tasks:
@@ -149,13 +169,26 @@ def audit_kernel_invariants(kernel: "Kernel") -> None:
                         f"{other} and {(task.pid, vpn)}")
                 slot_owner[pte.swap_slot] = (task.pid, vpn)
 
-    for pd in kernel.pagemap:
-        if pd.pin_count > 0 and pd.count == 0:
+    if full_scan:
+        for pd in kernel.pagemap:
+            if pd.pin_count > 0 and pd.count == 0:
+                raise PageAccountingError(
+                    f"frame {pd.frame} pinned ({pd.pin_count}) but free")
+            if pd.pin_count < 0 or pd.count < 0:
+                raise PageAccountingError(
+                    f"frame {pd.frame} has negative counters")
+        return
+    table = kernel.pagemap.table
+    for frame in table.pinned:
+        if table.counts[frame] == 0:
             raise PageAccountingError(
-                f"frame {pd.frame} pinned ({pd.pin_count}) but free")
-        if pd.pin_count < 0 or pd.count < 0:
-            raise PageAccountingError(
-                f"frame {pd.frame} has negative counters")
+                f"frame {frame} pinned ({table.pin_counts[frame]}) "
+                f"but free")
+    if table.min_count() < 0 or table.min_pin_count() < 0:
+        for pd in kernel.pagemap:
+            if pd.pin_count < 0 or pd.count < 0:
+                raise PageAccountingError(
+                    f"frame {pd.frame} has negative counters")
 
 
 class InvariantWatchdog:
@@ -164,21 +197,31 @@ class InvariantWatchdog:
     Armed on a :class:`~repro.via.machine.Machine` or
     :class:`~repro.via.machine.Cluster` (or a raw ``(kernel, agents)``
     pair), the watchdog samples all three audits on a sim-clock cadence
-    — periodic work piggybacks on the clock, like the reaper — and at
-    every task-teardown boundary.  A failed audit raises
-    :class:`~repro.errors.InvariantViolation` carrying a structured
-    snapshot, so the violation surfaces at the operation that caused it
-    instead of at the end of the run.
+    — by default a self-rescheduling calendar event per clock, like the
+    reaper; ``use_events=False`` keeps the legacy per-charge subscriber
+    for the E18 A/B arms — and at every task-teardown boundary.  A
+    failed audit raises :class:`~repro.errors.InvariantViolation`
+    carrying a structured snapshot, so the violation surfaces at the
+    operation that caused it instead of at the end of the run.
+
+    Cadence catch-up follows the calendar's fire-once semantics: a
+    charge that jumps several intervals yields one sample, and the next
+    deadline realigns from the current time.
     """
 
     def __init__(self, *, interval_ns: int = 1_000_000,
                  check_kernel: bool = True,
                  check_tpt: bool = True,
-                 check_pins: bool = True) -> None:
+                 check_pins: bool = True,
+                 use_events: bool = True,
+                 full_scan: bool = False) -> None:
         self.interval_ns = interval_ns
         self.check_kernel = check_kernel
         self.check_tpt = check_tpt
         self.check_pins = check_pins
+        self.use_events = use_events
+        #: run the audits' legacy whole-table walks (E18 A/B arms)
+        self.full_scan = full_scan
         self.checks_run = 0
         self.violations = 0
         self.armed = False
@@ -187,6 +230,8 @@ class InvariantWatchdog:
         self._in_check = False
         self._teardowns: list[tuple] = []  #: (hook_list, hook) to undo
         self._unsubscribes: list[Callable[[], None]] = []
+        #: one mutable cell per cadence chain holding its pending event
+        self._cadences: list[list] = []
 
     # --------------------------------------------------------------- arming
 
@@ -201,24 +246,50 @@ class InvariantWatchdog:
             kernel, agents = target
             pairs = [(kernel, list(agents))]
         self._pairs.extend(pairs)
+        self.armed = True
         clocks = {id(k.clock): k.clock for k, _ in pairs}
         for clock in clocks.values():
-            # First cadence sample is one interval out, not immediately.
-            self._next_due_ns = max(self._next_due_ns,
-                                    clock.now_ns + self.interval_ns)
-            self._unsubscribes.append(clock.subscribe(self._on_tick))
+            if self.use_events:
+                # First cadence sample is one interval out, not
+                # immediately; each chain reschedules itself.
+                self._start_cadence(clock)
+            else:
+                self._next_due_ns = max(self._next_due_ns,
+                                        clock.now_ns + self.interval_ns)
+                self._unsubscribes.append(clock.subscribe(  # repro-lint: allow(clock-subscribe)
+                    self._on_tick))
         for kernel, _ in pairs:
             hook = self._make_teardown_hook()
             kernel.post_exit_hooks.append(hook)
             self._teardowns.append((kernel.post_exit_hooks, hook))
-        self.armed = True
         return self
+
+    def _start_cadence(self, clock) -> None:
+        cell: list = [None]
+
+        def fire(now_ns: int) -> None:
+            if not self.armed:
+                return
+            # Reschedule before checking: a violation raised out of the
+            # check must not silence future samples.  Fire-once
+            # catch-up — the next deadline realigns from now.
+            cell[0] = clock.schedule_after(
+                self.interval_ns, fire, name="watchdog.cadence")
+            self.check(boundary="cadence")
+
+        cell[0] = clock.schedule_after(
+            self.interval_ns, fire, name="watchdog.cadence")
+        self._cadences.append(cell)
 
     def disarm(self) -> None:
         """Stop all sampling."""
         for unsubscribe in self._unsubscribes:
             unsubscribe()
         self._unsubscribes.clear()
+        for cell in self._cadences:
+            if cell[0] is not None:
+                cell[0].cancel()
+        self._cadences.clear()
         for hook_list, hook in self._teardowns:
             if hook in hook_list:
                 hook_list.remove(hook)
@@ -253,7 +324,7 @@ class InvariantWatchdog:
         self.checks_run += 1
         if self.check_kernel:
             try:
-                audit_kernel_invariants(kernel)
+                audit_kernel_invariants(kernel, full_scan=self.full_scan)
             except PageAccountingError as exc:
                 raise self._violation(
                     "kernel", kernel, boundary, str(exc)) from exc
@@ -268,7 +339,8 @@ class InvariantWatchdog:
         if self.check_pins:
             # count_kiobufs: a cadence sample can land mid-registration,
             # where the pin exists but the record does not yet.
-            leaks = audit_pin_leaks(kernel, *agents, count_kiobufs=True)
+            leaks = audit_pin_leaks(kernel, *agents, count_kiobufs=True,
+                                    full_scan=self.full_scan)
             if leaks:
                 raise self._violation(
                     "pin_leak", kernel, boundary,

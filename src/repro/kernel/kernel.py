@@ -416,6 +416,6 @@ class Kernel:
             "swap_writes": self.swap.writes,
             "swap_reads": self.swap.reads,
             "orphan_frames": sum(
-                1 for pd in self.pagemap
-                if pd.tag == "orphan" and pd.count > 0),
+                1 for frame in self.pagemap.table.orphan_candidates
+                if self.pagemap.table.counts[frame] > 0),
         }

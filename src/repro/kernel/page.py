@@ -10,11 +10,22 @@ We add one field with no 2.2-era equivalent: ``pin_count``, the per-page
 pin counter maintained by the kiobuf layer (our reconstruction of the
 paper's proposal, see DESIGN.md §5).  A page with ``pin_count > 0`` is
 skipped by ``swap_out`` exactly as a ``PG_locked`` page is.
+
+Storage layout: the per-frame state lives in a :class:`FrameTable` — a
+structure-of-arrays column store (``array('q')`` per numeric field) —
+and :class:`PageDescriptor` is a lightweight *view* binding one frame of
+one table.  This keeps cluster-scale page maps cheap (seven machine
+words per frame instead of a Python object per frame) and lets the
+table maintain incremental index sets (:attr:`FrameTable.pinned`,
+:attr:`FrameTable.orphan_candidates`) so the post-test audits and the
+orphan reaper stop scanning every frame.  A ``PageDescriptor``
+constructed standalone (as unit tests do) gets a private single-frame
+table and behaves exactly like the old dataclass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 
 from repro.errors import PageAccountingError
 from repro.kernel.flags import (
@@ -22,38 +33,230 @@ from repro.kernel.flags import (
     describe_flags,
 )
 
+#: Debugging label under which paging strands Sec. 3.1 orphan frames.
+ORPHAN_TAG = "orphan"
 
-@dataclass
+
+class FrameTable:
+    """Structure-of-arrays backing store for all frames of one machine.
+
+    Numeric columns are ``array('q')`` (one signed machine word per
+    frame, no per-frame Python objects); ``mappings`` and ``tags`` stay
+    Python lists because they hold tuples/strings.  Two index sets are
+    maintained *incrementally* by the mutators:
+
+    ``pinned``
+        frames with ``pin_count > 0`` — lets pin-leak audits iterate
+        only pinned frames instead of the whole table;
+    ``orphan_candidates``
+        frames whose ``tag == "orphan"`` — lets ``PageMap.orphans()``
+        and the reaper's orphan sweep skip the full-table scan.
+
+    All writes must go through the mutator methods here or through a
+    :class:`PageDescriptor` view (whose setters delegate), so the index
+    sets can never go stale.
+    """
+
+    __slots__ = ("num_frames", "counts", "flags", "pin_counts", "ages",
+                 "cow_shares", "mappings", "tags", "pinned",
+                 "orphan_candidates")
+
+    def __init__(self, num_frames: int) -> None:
+        zeros = bytes(8 * num_frames)
+        self.num_frames = num_frames
+        self.counts = array("q", zeros)
+        self.flags = array("q", zeros)
+        self.pin_counts = array("q", zeros)
+        self.ages = array("q", zeros)
+        self.cow_shares = array("q", zeros)
+        self.mappings: list[tuple[int, int] | None] = [None] * num_frames
+        self.tags: list[str] = [""] * num_frames
+        self.pinned: set[int] = set()
+        self.orphan_candidates: set[int] = set()
+
+    # -- mutators that keep the index sets honest -------------------------
+
+    def set_pin_count(self, frame: int, value: int) -> None:
+        """Set ``frame``'s pin count, keeping the pinned set in step."""
+        self.pin_counts[frame] = value
+        if value > 0:
+            self.pinned.add(frame)
+        else:
+            self.pinned.discard(frame)
+
+    def incr_pin(self, frame: int) -> None:
+        """Take one pin on ``frame`` (adds it to the pinned set)."""
+        self.pin_counts[frame] += 1
+        self.pinned.add(frame)
+
+    def decr_pin(self, frame: int) -> None:
+        """Drop one pin on ``frame``; underflow is an accounting
+        violation.  Removes it from the pinned set at zero."""
+        if self.pin_counts[frame] <= 0:
+            raise PageAccountingError(
+                f"pin-count underflow on frame {frame}")
+        self.pin_counts[frame] -= 1
+        if self.pin_counts[frame] == 0:
+            self.pinned.discard(frame)
+
+    def set_tag(self, frame: int, tag: str) -> None:
+        """Set ``frame``'s debugging label, keeping the orphan-candidate
+        set in step."""
+        self.tags[frame] = tag
+        if tag == ORPHAN_TAG:
+            self.orphan_candidates.add(frame)
+        else:
+            self.orphan_candidates.discard(frame)
+
+    def reset_frame(self, frame: int, tag: str = "") -> None:
+        """Alloc-time reset to a fresh single-reference state."""
+        self.counts[frame] = 1
+        self.flags[frame] = 0
+        self.set_pin_count(frame, 0)
+        self.ages[frame] = 0
+        self.mappings[frame] = None
+        self.cow_shares[frame] = 0
+        self.set_tag(frame, tag)
+
+    def scrub_identity(self, frame: int) -> None:
+        """Free-time scrub of everything but the counters."""
+        self.flags[frame] = 0
+        self.mappings[frame] = None
+        self.cow_shares[frame] = 0
+        self.set_tag(frame, "")
+
+    # -- audit helpers -----------------------------------------------------
+
+    def min_count(self) -> int:
+        """Smallest reference count across all frames (C-speed)."""
+        return min(self.counts) if self.counts else 0
+
+    def min_pin_count(self) -> int:
+        """Smallest pin count across all frames (C-speed)."""
+        return min(self.pin_counts) if self.pin_counts else 0
+
+
 class PageDescriptor:
-    """State of one physical page frame."""
+    """State of one physical page frame — a view over a FrameTable.
 
-    frame: int                 #: frame number (index into mem_map)
-    count: int = 0             #: reference counter; 0 ⇔ free
-    flags: int = 0             #: PG_* flag word
-    pin_count: int = 0         #: kiobuf pins (reconstruction; see DESIGN.md)
-    age: int = 0               #: clock-algorithm age
-    #: Reverse-map hint: ``(pid, vpn)`` of the (single) process mapping, or
-    #: None.  Anonymous pages in this simulator are never shared between
-    #: page tables except via COW, which tracks sharing through ``count``.
-    mapping: tuple[int, int] | None = None
-    #: COW sharers: number of PTEs mapping this frame read-only via fork-
-    #: style sharing.  Kept distinct from ``count`` for audit clarity.
-    cow_shares: int = 0
-    tag: str = field(default="", compare=False)  #: debugging label
+    Normally created bound to a :class:`~repro.kernel.pagemap.PageMap`'s
+    shared table (one cached view per frame); constructing one directly
+    (``PageDescriptor(frame=0)``) allocates a private single-frame table
+    so the object behaves like the historical standalone dataclass.
+    """
+
+    __slots__ = ("frame", "_table", "_index")
+
+    def __init__(self, frame: int = 0, count: int = 0, flags: int = 0,
+                 pin_count: int = 0, age: int = 0,
+                 mapping: tuple[int, int] | None = None,
+                 cow_shares: int = 0, tag: str = "") -> None:
+        self.frame = frame
+        table = FrameTable(1)
+        # Standalone views always index slot 0 of their private table;
+        # ``frame`` is just the reported frame number.
+        table.counts[0] = count
+        table.flags[0] = flags
+        table.set_pin_count(0, pin_count)
+        table.ages[0] = age
+        table.mappings[0] = mapping
+        table.cow_shares[0] = cow_shares
+        table.set_tag(0, tag)
+        self._table = table
+        self._index = 0
+
+    @classmethod
+    def bound(cls, table: FrameTable, frame: int) -> "PageDescriptor":
+        """A view over ``table``'s row ``frame`` (no private storage)."""
+        pd = object.__new__(cls)
+        pd.frame = frame
+        pd._table = table
+        pd._index = frame
+        return pd
+
+    # -- columns -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Reference counter; 0 ⇔ free."""
+        return self._table.counts[self._index]
+
+    @count.setter
+    def count(self, value: int) -> None:
+        self._table.counts[self._index] = value
+
+    @property
+    def flags(self) -> int:
+        """PG_* flag word."""
+        return self._table.flags[self._index]
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        self._table.flags[self._index] = value
+
+    @property
+    def pin_count(self) -> int:
+        """Kiobuf pins (reconstruction; see DESIGN.md)."""
+        return self._table.pin_counts[self._index]
+
+    @pin_count.setter
+    def pin_count(self, value: int) -> None:
+        self._table.set_pin_count(self._index, value)
+
+    @property
+    def age(self) -> int:
+        """Clock-algorithm age."""
+        return self._table.ages[self._index]
+
+    @age.setter
+    def age(self, value: int) -> None:
+        self._table.ages[self._index] = value
+
+    @property
+    def mapping(self) -> tuple[int, int] | None:
+        """Reverse-map hint: ``(pid, vpn)`` of the (single) process
+        mapping, or None.  Anonymous pages in this simulator are never
+        shared between page tables except via COW, which tracks sharing
+        through ``count``."""
+        return self._table.mappings[self._index]
+
+    @mapping.setter
+    def mapping(self, value: tuple[int, int] | None) -> None:
+        self._table.mappings[self._index] = value
+
+    @property
+    def cow_shares(self) -> int:
+        """COW sharers: number of PTEs mapping this frame read-only via
+        fork-style sharing.  Kept distinct from ``count`` for audit
+        clarity."""
+        return self._table.cow_shares[self._index]
+
+    @cow_shares.setter
+    def cow_shares(self, value: int) -> None:
+        self._table.cow_shares[self._index] = value
+
+    @property
+    def tag(self) -> str:
+        """Debugging label."""
+        return self._table.tags[self._index]
+
+    @tag.setter
+    def tag(self, value: str) -> None:
+        self._table.set_tag(self._index, value)
 
     # -- flag helpers --------------------------------------------------------
 
     def set_flag(self, bit: int) -> None:
         """Set a PG_* flag bit."""
-        self.flags |= bit
+        self._table.flags[self._index] |= bit
 
     def clear_flag(self, bit: int) -> None:
         """Clear a PG_* flag bit."""
-        self.flags &= ~bit
+        self._table.flags[self._index] &= ~bit
 
     def test_flag(self, bit: int) -> bool:
         """True iff the PG_* flag bit is set."""
-        return bool(self.flags & bit)
+        return bool(self._table.flags[self._index] & bit)
 
     @property
     def locked(self) -> bool:
@@ -89,27 +292,42 @@ class PageDescriptor:
 
     def get(self) -> None:
         """``get_page`` — take a reference."""
-        self.count += 1
+        self._table.counts[self._index] += 1
 
     def put(self) -> int:
         """``put_page``/``__free_page`` — drop a reference; returns the
         new count.  Underflow is an accounting violation."""
-        if self.count <= 0:
+        idx = self._index
+        if self._table.counts[idx] <= 0:
             raise PageAccountingError(
                 f"refcount underflow on frame {self.frame}")
-        self.count -= 1
-        return self.count
+        self._table.counts[idx] -= 1
+        return self._table.counts[idx]
 
     def pin(self) -> None:
         """Take one kiobuf pin."""
-        self.pin_count += 1
+        self._table.incr_pin(self._index)
 
     def unpin(self) -> None:
         """Drop one kiobuf pin; underflow is an accounting violation."""
-        if self.pin_count <= 0:
+        idx = self._index
+        if self._table.pin_counts[idx] <= 0:
             raise PageAccountingError(
                 f"pin-count underflow on frame {self.frame}")
-        self.pin_count -= 1
+        self._table.decr_pin(idx)
+
+    # -- dataclass-compatible comparison (tag excluded, as before) -----------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageDescriptor):
+            return NotImplemented
+        return (self.frame == other.frame
+                and self.count == other.count
+                and self.flags == other.flags
+                and self.pin_count == other.pin_count
+                and self.age == other.age
+                and self.mapping == other.mapping
+                and self.cow_shares == other.cow_shares)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PageDescriptor(frame={self.frame}, count={self.count}, "

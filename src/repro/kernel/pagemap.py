@@ -11,6 +11,16 @@ still unmaps the page and calls ``__free_page`` — but because of the
 driver's reference the frame is *not* freed: it becomes an **orphan**,
 "not really released ... not associated with the virtual page just
 swapped out any more but still in use" (Sec. 3.1).
+
+Since the E18 scale-out the map is columnar: all per-frame state lives
+in one :class:`~repro.kernel.page.FrameTable` and ``self.pages`` holds
+cached :class:`~repro.kernel.page.PageDescriptor` *views* (one per
+frame, identity-stable).  ``alloc``/``put_page`` mutate the columns
+directly; :meth:`orphans` walks the incrementally maintained
+orphan-candidate set and :meth:`check_free_list` uses a parallel free
+*set* for O(1) duplicate detection, so neither audit scans every frame
+(pass ``full_scan=True`` to get the legacy whole-table walk for A/B
+benchmarking).
 """
 
 from __future__ import annotations
@@ -18,15 +28,15 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import OutOfMemory, PageAccountingError
-from repro.kernel.flags import PG_RESERVED
-from repro.kernel.page import PageDescriptor
+from repro.kernel.flags import PG_PAGECACHE, PG_RESERVED
+from repro.kernel.page import FrameTable, PageDescriptor
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.trace import Trace
 
 
 class PageMap:
-    """Array of :class:`PageDescriptor` covering all installed frames."""
+    """Columnar ``mem_map[]`` covering all installed frames."""
 
     def __init__(self, num_frames: int, clock: SimClock, costs: CostModel,
                  trace: Trace | None = None,
@@ -35,25 +45,26 @@ class PageMap:
         self._costs = costs
         self._trace = trace
         self.num_frames = num_frames
+        self.table = FrameTable(num_frames)
+        #: identity-stable per-frame views (compatibility surface)
         self.pages: list[PageDescriptor] = [
-            PageDescriptor(frame=i) for i in range(num_frames)]
+            PageDescriptor.bound(self.table, i) for i in range(num_frames)]
         # Frames reserved for the "kernel image" — PG_reserved, never
         # allocatable, mirroring the pages the real kernel marks reserved
         # at boot.
-        self._free: list[int] = []
-        for i in range(num_frames - 1, reserved_frames - 1, -1):
-            self._free.append(i)
+        self._free: list[int] = list(
+            range(num_frames - 1, reserved_frames - 1, -1))
+        self._free_set: set[int] = set(self._free)
         for i in range(reserved_frames):
-            pd = self.pages[i]
-            pd.set_flag(PG_RESERVED)
-            pd.count = 1
-            pd.tag = "kernel-image"
+            self.table.flags[i] |= PG_RESERVED
+            self.table.counts[i] = 1
+            self.table.set_tag(i, "kernel-image")
         self.reserved_frames = reserved_frames
 
     # -- queries -----------------------------------------------------------
 
     def page(self, frame: int) -> PageDescriptor:
-        """The descriptor for ``frame``."""
+        """The descriptor view for ``frame``."""
         return self.pages[frame]
 
     @property
@@ -63,6 +74,12 @@ class PageMap:
 
     def __iter__(self) -> Iterator[PageDescriptor]:
         return iter(self.pages)
+
+    def pinned_frames(self) -> list[int]:
+        """Frames currently holding at least one kiobuf pin, in frame
+        order — served from the incrementally maintained pinned set, so
+        pin audits need not scan the whole table."""
+        return sorted(self.table.pinned)
 
     # -- allocation ---------------------------------------------------------
 
@@ -78,27 +95,23 @@ class PageMap:
             raise OutOfMemory("free list empty")
         self._clock.charge(self._costs.frame_alloc_ns, "mm")
         frame = self._free.pop()
-        pd = self.pages[frame]
-        if pd.count != 0:
+        self._free_set.discard(frame)
+        table = self.table
+        if table.counts[frame] != 0:
             raise PageAccountingError(
-                f"frame {frame} on free list with refcount {pd.count}")
-        pd.count = 1
-        pd.flags = 0
-        pd.pin_count = 0
-        pd.age = 0
-        pd.mapping = None
-        pd.cow_shares = 0
-        pd.tag = tag
-        return pd
+                f"frame {frame} on free list with refcount "
+                f"{table.counts[frame]}")
+        table.reset_frame(frame, tag)
+        return self.pages[frame]
 
     def get_page(self, frame: int) -> PageDescriptor:
         """Take an extra reference on an in-use frame (``get_page``)."""
-        pd = self.pages[frame]
-        if pd.count == 0:
+        table = self.table
+        if table.counts[frame] == 0:
             raise PageAccountingError(
                 f"get_page on free frame {frame}")
-        pd.get()
-        return pd
+        table.counts[frame] += 1
+        return self.pages[frame]
 
     def put_page(self, frame: int) -> bool:
         """``__free_page``: drop one reference; free the frame iff the
@@ -107,18 +120,19 @@ class PageMap:
 
         Reserved frames are never returned to the free list even at count
         zero (the kernel leaves them alone entirely)."""
-        pd = self.pages[frame]
-        new_count = pd.put()
-        if new_count == 0 and not pd.reserved:
-            pd.flags = 0
-            pd.mapping = None
-            pd.cow_shares = 0
-            pd.tag = ""
-            if pd.pin_count != 0:
+        table = self.table
+        if table.counts[frame] <= 0:
+            raise PageAccountingError(
+                f"refcount underflow on frame {frame}")
+        table.counts[frame] -= 1
+        if table.counts[frame] == 0 and not table.flags[frame] & PG_RESERVED:
+            table.scrub_identity(frame)
+            if table.pin_counts[frame] != 0:
                 raise PageAccountingError(
                     f"frame {frame} freed while pinned "
-                    f"(pin_count={pd.pin_count})")
+                    f"(pin_count={table.pin_counts[frame]})")
             self._free.append(frame)
+            self._free_set.add(frame)
             if self._trace is not None:
                 self._trace.emit("frame_freed", frame=frame)
             return True
@@ -130,23 +144,59 @@ class PageMap:
         """Frames that are in use but mapped by no page table and owned by
         no subsystem tag — the tell-tale of the Sec. 3.1 failure.
 
-        (The kernel has no such query; our audit layer uses it.)
+        (The kernel has no such query; our audit layer uses it.)  Served
+        from the orphan-candidate set the FrameTable maintains on every
+        tag write, so the query is O(orphans), not O(frames).
         """
-        return [pd for pd in self.pages
-                if pd.count > 0 and not pd.reserved
-                and pd.mapping is None and not pd.in_page_cache
-                and pd.tag == "orphan"]
+        table = self.table
+        return [self.pages[frame]
+                for frame in sorted(table.orphan_candidates)
+                if table.counts[frame] > 0
+                and not table.flags[frame] & (PG_RESERVED | PG_PAGECACHE)
+                and table.mappings[frame] is None]
 
-    def check_free_list(self) -> None:
+    def orphan_count(self) -> int:
+        """Number of frames :meth:`orphans` would return (O(orphans))."""
+        table = self.table
+        return sum(1 for frame in table.orphan_candidates
+                   if table.counts[frame] > 0
+                   and not table.flags[frame] & (PG_RESERVED | PG_PAGECACHE)
+                   and table.mappings[frame] is None)
+
+    def check_free_list(self, full_scan: bool = False) -> None:
         """Invariant: every frame on the free list has refcount zero and
-        no frame appears twice."""
-        seen: set[int] = set()
+        no frame appears twice.
+
+        The fast path leans on the parallel free *set*: a duplicate
+        shows up as a length mismatch in O(1), and the refcount check is
+        a straight ``array`` read per free frame.  ``full_scan=True``
+        runs the legacy object-walking audit (kept for the E18 before/
+        after benchmark arms).
+        """
+        if full_scan:
+            seen: set[int] = set()
+            for frame in self._free:
+                if frame in seen:
+                    raise PageAccountingError(
+                        f"frame {frame} on the free list twice")
+                seen.add(frame)
+                if self.pages[frame].count != 0:
+                    raise PageAccountingError(
+                        f"frame {frame} free with refcount "
+                        f"{self.pages[frame].count}")
+            return
+        if len(self._free) != len(self._free_set):
+            seen = set()
+            for frame in self._free:
+                if frame in seen:
+                    raise PageAccountingError(
+                        f"frame {frame} on the free list twice")
+                seen.add(frame)
+            raise PageAccountingError(
+                "free list and free set disagree "
+                f"({len(self._free)} vs {len(self._free_set)})")
+        counts = self.table.counts
         for frame in self._free:
-            if frame in seen:
+            if counts[frame] != 0:
                 raise PageAccountingError(
-                    f"frame {frame} on the free list twice")
-            seen.add(frame)
-            if self.pages[frame].count != 0:
-                raise PageAccountingError(
-                    f"frame {frame} free with refcount "
-                    f"{self.pages[frame].count}")
+                    f"frame {frame} free with refcount {counts[frame]}")

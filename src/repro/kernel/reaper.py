@@ -4,9 +4,11 @@ A clean process exit reclaims everything through the driver exit hooks
 — but teardown can be buggy (``Kernel.kill(pid, cleanup=False)``), a
 crash can land between a pin and its registration record, and a backend
 can transiently fail to unlock.  The reaper is the backstop: like
-``paging.try_to_free_pages`` it runs periodically (here: on a sim-clock
-cadence, or drafted directly by ``try_to_free_pages`` when ordinary
-reclaim falls short) and scans for
+``paging.try_to_free_pages`` it runs periodically (by default as a
+calendar event on the sim clock — rescheduling itself every
+``interval_ns`` — or drafted directly by ``try_to_free_pages`` when
+ordinary reclaim falls short; ``start(use_events=False)`` keeps the
+legacy per-charge subscriber cadence for A/B benchmarks) and scans for
 
 * registrations whose owning pid is dead (stale TPT entries included),
 * kiobufs pinning pages for a dead pid with no backing registration,
@@ -31,6 +33,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.analysis.events import UNPIN
 from repro.errors import ReproError
+from repro.sim.clock import ScheduledEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -115,16 +118,34 @@ class OrphanReaper:
         self._next_due_ns = 0
         self._in_scan = False
         self._unsubscribe: Callable[[], None] | None = None
+        #: pending calendar event, if any
+        self._event: ScheduledEvent | None = None
+        #: calendar-shard label: all of this reaper's events carry it,
+        #: so one host's teardown on a shared cluster clock cancels only
+        #: its own daemon (SimClock.cancel_shard).
+        self.shard = f"reaper@{id(kernel):#x}"
         # try_to_free_pages drafts the attached reaper directly.
         kernel.reaper = self
 
     # ------------------------------------------------------------- scheduling
 
-    def start(self) -> "OrphanReaper":
-        """Run as a daemon: scan every ``interval_ns`` of simulated time
-        (piggybacking on the clock, as all periodic work here does)."""
-        if self._unsubscribe is None:
-            self._unsubscribe = self.kernel.clock.subscribe(self._on_tick)
+    def start(self, use_events: bool = True) -> "OrphanReaper":
+        """Run as a daemon: scan every ``interval_ns`` of simulated time.
+
+        The default rides the clock's event calendar (one pending event
+        at a time, rescheduled after each firing).  ``use_events=False``
+        keeps the legacy model — a per-charge subscriber that re-checks
+        the cadence on every single charge — retained only so the E18
+        benchmark can measure the difference.
+        """
+        if use_events:
+            if self._event is None or not self._event.pending:
+                self._event = self.kernel.clock.schedule_after(
+                    self.interval_ns, self._on_event,
+                    name="reaper.cadence", shard=self.shard)
+        elif self._unsubscribe is None:
+            self._unsubscribe = self.kernel.clock.subscribe(  # repro-lint: allow(clock-subscribe)
+                self._on_tick)
         return self
 
     def stop(self) -> None:
@@ -132,9 +153,32 @@ class OrphanReaper:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
     def _on_tick(self, now_ns: int) -> None:
         self.run_if_due()
+
+    def _on_event(self, now_ns: int) -> None:
+        """Calendar-event cadence with fire-once catch-up semantics.
+
+        A single large charge that jumps past several intervals delivers
+        one firing, possibly well past the deadline; the daemon scans
+        once and realigns the next deadline from *now* rather than
+        replaying the missed intervals.  If ``try_to_free_pages``
+        drafted a scan since this event was scheduled (pushing
+        ``_next_due_ns`` into the future), the firing is a no-op and the
+        event realigns to that deadline instead of scanning early.
+        """
+        self._event = None
+        clock = self.kernel.clock
+        if not self._in_scan and clock.now_ns >= self._next_due_ns:
+            self.scan()     # sets _next_due_ns = now + interval_ns
+        deadline = max(self._next_due_ns, clock.now_ns + 1)
+        self._event = clock.schedule_at(
+            deadline, self._on_event,
+            name="reaper.cadence", shard=self.shard)
 
     def run_if_due(self) -> ReaperReport | None:
         """Scan iff the cadence interval has elapsed since the last scan."""
@@ -357,14 +401,18 @@ class OrphanReaper:
         freeing underneath it would underflow.
         """
         explained = self._live_registration_frames()
-        for pd in list(self.kernel.pagemap):
-            if (pd.tag != "orphan" or pd.count <= 0
-                    or pd.pinned or pd.mapping is not None
-                    or pd.frame in explained):
+        table = self.kernel.pagemap.table
+        # Candidate-set sweep: only frames whose tag is "orphan" are in
+        # the set, so this is O(orphans) instead of O(frames).
+        for frame in sorted(table.orphan_candidates):
+            if (table.counts[frame] <= 0
+                    or table.pin_counts[frame] > 0
+                    or table.mappings[frame] is not None
+                    or frame in explained):
                 continue
-            key = ("orphan", pd.frame)
+            key = ("orphan", frame)
             if self._attempt(key,
-                             lambda f=pd.frame:
+                             lambda f=frame:
                              self._free_orphan(f),
                              report):
                 report.orphan_frames_freed += 1
@@ -396,12 +444,18 @@ class OrphanReaper:
                 for frame in kio.frames:
                     expected[frame] += 1
         now = self.kernel.clock.now_ns
-        for pd in self.kernel.pagemap:
-            excess = pd.pin_count - expected.get(pd.frame, 0)
+        pagemap = self.kernel.pagemap
+        excess_frames: set[int] = set()
+        # Pinned-set sweep: frames with zero pins can never have excess,
+        # so only the incrementally maintained pinned set is visited.
+        for frame in pagemap.pinned_frames():
+            pd = pagemap.page(frame)
+            excess = pd.pin_count - expected.get(frame, 0)
             if excess <= 0:
-                self._backoff.pop(("pin", pd.frame), None)
+                self._backoff.pop(("pin", frame), None)
                 continue
-            key = ("pin", pd.frame)
+            excess_frames.add(frame)
+            key = ("pin", frame)
             state = self._backoff.get(key)
             if state is None:
                 state = self._backoff[key] = _Backoff()
@@ -420,7 +474,14 @@ class OrphanReaper:
                 self.kernel.events.emit(
                     UNPIN, frames=(pd.frame,) * excess, pid=None)
             self._backoff.pop(key, None)
+            excess_frames.discard(frame)
             report.pins_force_released += excess
             self.kernel.trace.emit("reaper_pin_released", frame=pd.frame,
                                    excess=excess,
                                    sightings=state.attempts)
+        # A frame unpinned since its last sighting leaves the pinned set
+        # without passing through the excess<=0 branch above; drop its
+        # stale backoff so a future, unrelated leak starts fresh.
+        for key in [k for k in self._backoff
+                    if k[0] == "pin" and k[1] not in excess_frames]:
+            self._backoff.pop(key)

@@ -8,12 +8,77 @@ host-independent: a registration of N pages always costs exactly
 linear-in-pages shape the paper's evaluation depends on cannot be washed
 out by interpreter noise.  (pytest-benchmark additionally measures real
 host time of the whole simulation; see ``benchmarks/``.)
+
+Periodic work (the orphan reaper, the invariant watchdog, fault timers)
+rides on the clock through the **event calendar**: a lazy min-heap of
+``(deadline_ns, seq, event)`` entries.  :meth:`SimClock.schedule_at` /
+:meth:`SimClock.schedule_after` are O(log n); cancellation is O(1)
+(events are tombstoned in place and dropped when they surface);
+:meth:`SimClock.charge` pays a single O(1) heap peek when nothing is
+due, instead of the old model's fan-out to every subscriber on every
+charge.  Callbacks run *during* the charge that crosses their deadline,
+so a single large charge may deliver ``now_ns`` well past the deadline —
+periodic daemons are expected to fire once and realign their next
+deadline from ``now_ns`` (catch-up semantics; see
+``OrphanReaper._on_event``).
+
+``subscribe()`` remains as a deprecated per-charge fan-out shim for
+out-of-tree callers; in-tree code must use the calendar (enforced by the
+``clock-subscribe`` repro-lint rule).
 """
 
 from __future__ import annotations
 
+import heapq
 from contextlib import contextmanager
 from typing import Callable, Iterator
+
+
+class ScheduledEvent:
+    """Handle for one entry in the event calendar.
+
+    Returned by :meth:`SimClock.schedule_at`; the only supported
+    operations are :meth:`cancel` and reading :attr:`pending`.  Handles
+    outlive :meth:`SimClock.reset`: a stale handle is simply no longer
+    pending and its ``cancel()`` is a no-op.
+    """
+
+    __slots__ = ("deadline_ns", "seq", "fn", "name", "shard", "_fired",
+                 "_cancelled")
+
+    def __init__(self, deadline_ns: int, seq: int,
+                 fn: Callable[[int], None], name: str, shard: str | None,
+                 ) -> None:
+        self.deadline_ns = deadline_ns
+        self.seq = seq
+        self.fn = fn
+        self.name = name
+        self.shard = shard
+        self._fired = False
+        self._cancelled = False
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and neither fired nor
+        cancelled."""
+        return not (self._fired or self._cancelled)
+
+    def cancel(self) -> bool:
+        """Tombstone the event; returns True if it was still pending.
+
+        O(1): the heap entry stays put and is discarded when it
+        surfaces (or during compaction).
+        """
+        if self._fired or self._cancelled:
+            return False
+        self._cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("fired" if self._fired
+                 else "cancelled" if self._cancelled else "pending")
+        return (f"ScheduledEvent({self.name or self.fn!r} "
+                f"@{self.deadline_ns}ns, {state})")
 
 
 class SimClock:
@@ -29,7 +94,12 @@ class SimClock:
         self._now_ns: int = 0
         self._by_category: dict[str, int] = {}
         self._frozen = False
-        #: time-watchers (periodic daemons: reaper, invariant watchdog)
+        #: event calendar: lazy min-heap of (deadline_ns, seq, event)
+        self._events: list[tuple[int, int, ScheduledEvent]] = []
+        self._seq = 0
+        self._tombstones = 0
+        self._dispatching = False
+        #: deprecated per-charge fan-out shim (see :meth:`subscribe`)
         self._watchers: list[Callable[[int], None]] = []
         self._notifying = False
 
@@ -61,7 +131,13 @@ class SimClock:
         ``ns`` must be non-negative; a zero charge is legal and records
         nothing.  While the clock is frozen (see :meth:`frozen`) charges
         are ignored — used by setup code that should not pollute
-        measurements.
+        measurements — and consequently no calendar events fire.
+
+        After advancing, calendar events whose deadline has been reached
+        are dispatched in deadline order (FIFO among ties).  Dispatch is
+        non-reentrant: work a callback performs charges the clock too,
+        but never recursively re-enters dispatch — the outer loop picks
+        up anything that became due.
         """
         if ns < 0:
             raise ValueError(f"cannot charge negative time: {ns}")
@@ -69,9 +145,11 @@ class SimClock:
             return
         self._now_ns += ns
         self._by_category[category] = self._by_category.get(category, 0) + ns
-        # Wake the time-watchers.  Work a watcher performs charges the
-        # clock too, so notification is non-reentrant: a daemon's own
-        # charges never recursively re-trigger the daemons.
+        # O(1) peek: the common case is that nothing is due.
+        events = self._events
+        if events and events[0][0] <= self._now_ns and not self._dispatching:
+            self._dispatch()
+        # Wake the deprecated per-charge watchers (subscribe() shim).
         if self._watchers and not self._notifying:
             self._notifying = True
             try:
@@ -80,13 +158,117 @@ class SimClock:
             finally:
                 self._notifying = False
 
+    def _dispatch(self) -> None:
+        """Pop and run every event whose deadline has passed.
+
+        Callbacks may charge the clock (advancing ``now_ns``) and may
+        schedule or cancel events; the loop re-evaluates the heap top
+        each iteration, so an event that becomes due *during* dispatch
+        fires in the same pass.
+        """
+        events = self._events
+        self._dispatching = True
+        try:
+            while events and events[0][0] <= self._now_ns:
+                _, _, event = heapq.heappop(events)
+                if event._cancelled:
+                    self._tombstones -= 1
+                    continue
+                event._fired = True
+                event.fn(self._now_ns)
+        finally:
+            self._dispatching = False
+
+    # -- the event calendar ------------------------------------------------
+
+    def schedule_at(self, deadline_ns: int, fn: Callable[[int], None],
+                    *, name: str = "", shard: str | None = None,
+                    ) -> ScheduledEvent:
+        """Schedule ``fn(now_ns)`` to run once the clock reaches
+        ``deadline_ns``.
+
+        O(log n).  The callback runs during the :meth:`charge` that
+        crosses the deadline — with ``now_ns`` possibly *past* it, if a
+        single charge jumped several intervals (callers wanting a cadence
+        fire once and reschedule relative to ``now_ns``).  A deadline at
+        or before the current time fires on the next non-frozen, nonzero
+        charge, never synchronously inside ``schedule_at``.
+
+        ``name`` labels the event for diagnostics; ``shard`` groups
+        events for bulk cancellation (see :meth:`cancel_shard`) — per-
+        kernel daemons on a shared cluster clock tag their events with a
+        machine shard so one host's teardown never touches another's.
+        """
+        if deadline_ns < 0:
+            raise ValueError(f"cannot schedule in negative time: "
+                             f"{deadline_ns}")
+        self._seq += 1
+        event = ScheduledEvent(deadline_ns, self._seq, fn, name, shard)
+        heapq.heappush(self._events, (deadline_ns, self._seq, event))
+        return event
+
+    def schedule_after(self, delay_ns: int, fn: Callable[[int], None],
+                       *, name: str = "", shard: str | None = None,
+                       ) -> ScheduledEvent:
+        """Schedule ``fn`` to run ``delay_ns`` from now (see
+        :meth:`schedule_at`)."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in negative time: {delay_ns}")
+        return self.schedule_at(self._now_ns + delay_ns, fn,
+                                name=name, shard=shard)
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel ``event``; returns True if it was still pending.
+
+        Lazy: the heap entry is tombstoned in place.  When more than
+        half the heap (beyond a small floor) is tombstones, the live
+        entries are re-heapified so the calendar never degenerates.
+        """
+        if not event.cancel():
+            return False
+        self._tombstones += 1
+        if self._tombstones > 16 and self._tombstones * 2 > len(self._events):
+            self._compact()
+        return True
+
+    def cancel_shard(self, shard: str) -> int:
+        """Cancel every pending event tagged with ``shard``; returns how
+        many were cancelled."""
+        cancelled = 0
+        for _, _, event in self._events:
+            if event.shard == shard and event.cancel():
+                cancelled += 1
+        self._tombstones += cancelled
+        if self._tombstones > 16 and self._tombstones * 2 > len(self._events):
+            self._compact()
+        return cancelled
+
+    def pending_events(self, shard: str | None = None) -> int:
+        """Number of pending (non-tombstoned) events, optionally only
+        those tagged ``shard``."""
+        return sum(1 for _, _, ev in self._events
+                   if ev.pending and (shard is None or ev.shard == shard))
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._events if entry[2].pending]
+        heapq.heapify(live)
+        self._events = live
+        self._tombstones = 0
+
+    # -- deprecated subscriber shim ----------------------------------------
+
     def subscribe(self, fn: Callable[[int], None]) -> Callable[[], None]:
-        """Register a time-watcher called with ``now_ns`` after every
+        """Register a watcher called with ``now_ns`` after every
         (non-frozen, nonzero) charge; returns an unsubscribe callable.
 
-        This is how the simulation models periodic kernel daemons: there
-        is no scheduler, so anything that should happen "every N ms of
-        simulated time" piggybacks on the clock advancing.
+        .. deprecated::
+            This is the pre-calendar model of periodic daemons — every
+            charge fans out to every watcher, which is O(watchers) on
+            the hottest path in the simulator.  Use
+            :meth:`schedule_after` / :meth:`schedule_at` instead.  The
+            shim is kept for out-of-tree callers and for the legacy
+            (``use_events=False``) benchmark arms; in-tree call sites
+            are flagged by the ``clock-subscribe`` repro-lint rule.
         """
         self._watchers.append(fn)
 
@@ -99,7 +281,11 @@ class SimClock:
 
     @contextmanager
     def frozen(self) -> Iterator[None]:
-        """Context manager during which all charges are discarded."""
+        """Context manager during which all charges are discarded.
+
+        Time does not advance, so no calendar events fire and no
+        watchers are notified inside the block.
+        """
         prev = self._frozen
         self._frozen = True
         try:
@@ -120,12 +306,27 @@ class SimClock:
             span.stop()
 
     def reset(self) -> None:
-        """Zero the clock and all category totals."""
+        """Zero the clock: time, category totals, the event calendar,
+        and watcher bookkeeping.
+
+        Pending events are cancelled (their handles report
+        ``pending == False`` and a later ``cancel()`` is a no-op) and
+        subscribed watchers are dropped, so periodic daemons from a
+        previous benchmark phase cannot misfire into the next one.
+        Daemons that should survive a reset must be re-started against
+        the fresh timeline.
+        """
         self._now_ns = 0
         self._by_category.clear()
+        for _, _, event in self._events:
+            event._cancelled = True
+        self._events.clear()
+        self._tombstones = 0
+        self._watchers.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now_ns}ns)"
+        return (f"SimClock(now={self._now_ns}ns, "
+                f"events={self.pending_events()})")
 
 
 class _Span:

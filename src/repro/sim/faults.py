@@ -345,3 +345,24 @@ def _install_machine(plan: FaultPlan | None, machine) -> None:
     # Kernel-internal crash points (kiobuf pinning) read the plan off
     # the kernel itself — the kiobuf layer knows nothing about drivers.
     machine.kernel.fault_plan = plan
+    _schedule_nic_reset(plan, machine.nic)
+
+
+def _schedule_nic_reset(plan: FaultPlan | None, nic) -> None:
+    """Put a scheduled NIC reset on the clock's event calendar.
+
+    Legacy behaviour made the reset depend on the victim happening to
+    poll ``check_faults()`` at a doorbell after the deadline; the
+    calendar event guarantees a wake-up at the deadline itself.  The
+    event just calls ``check_faults()`` — idempotent, one-shot through
+    ``nic_reset_due``, and still polled at every post — so uninstalling
+    the plan before the deadline turns the event into a no-op.
+    """
+    if plan is None or plan.nic_reset_at_ns is None:
+        return
+    if plan.nic_reset_name is not None and nic.name != plan.nic_reset_name:
+        return
+    clock = nic.kernel.clock
+    clock.schedule_at(max(plan.nic_reset_at_ns, clock.now_ns),
+                      lambda now_ns: nic.check_faults(),
+                      name=f"nic-reset:{nic.name}")

@@ -54,6 +54,24 @@ class CompletionQueue:
             return self._items.popleft()
         return None
 
+    def drain_batch(self, max_items: int | None = None,
+                    ) -> list[Completion]:
+        """User side: pop up to ``max_items`` completions (all queued
+        completions when None) in FIFO order.
+
+        The batched analogue of :meth:`poll` — one call services a whole
+        burst of completions, so progress loops driving many VIs pay the
+        call overhead once per drain instead of once per completion.
+        """
+        items = self._items
+        if max_items is None or max_items >= len(items):
+            out = list(items)
+            items.clear()
+            return out
+        if max_items <= 0:
+            return []
+        return [items.popleft() for _ in range(max_items)]
+
     def drain_vi(self, vi_id: int) -> int:
         """Drop every queued completion belonging to ``vi_id``; returns
         how many were dropped.

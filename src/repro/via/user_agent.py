@@ -93,6 +93,17 @@ class UserAgent:
         """``VipPostRecv``."""
         self.nic.post_recv(vi.vi_id, desc, self.task.pid)
 
+    def post_send_many(self, vi: VirtualInterface,
+                       descs: "list[Descriptor]") -> int:
+        """Batched ``VipPostSend`` — one doorbell for a descriptor list
+        (see :meth:`repro.via.nic.VIANic.post_send_many`)."""
+        return self.nic.post_send_many(vi.vi_id, descs, self.task.pid)
+
+    def post_recv_many(self, vi: VirtualInterface,
+                       descs: "list[Descriptor]") -> int:
+        """Batched ``VipPostRecv``."""
+        return self.nic.post_recv_many(vi.vi_id, descs, self.task.pid)
+
     # ---------------------------------------------------------------- completion
 
     def send_done(self, vi: VirtualInterface) -> Descriptor:

@@ -1,0 +1,19 @@
+"""Fixture: periodic daemon wired through the deprecated subscriber."""
+
+
+class Daemon:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._unsub = None
+
+    def start(self):
+        self._unsub = self.kernel.clock.subscribe(self._on_tick)
+
+    def arm(self, clock):
+        clock.subscribe(self._on_tick)
+
+    def arm_private(self, machine):
+        machine._clock.subscribe(self._on_tick)
+
+    def _on_tick(self, now_ns):
+        pass

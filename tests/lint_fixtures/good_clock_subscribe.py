@@ -1,0 +1,30 @@
+"""Fixture: periodic daemon on the event calendar (and non-clock
+subscribes, which the rule must leave alone)."""
+
+
+class Daemon:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._event = None
+
+    def start(self):
+        self._event = self.kernel.clock.schedule_after(
+            1_000_000, self._on_event, name="daemon.cadence")
+
+    def start_legacy(self):
+        # Sanctioned legacy A/B arm.
+        self.kernel.clock.subscribe(self._on_tick)  # repro-lint: allow(clock-subscribe)
+
+    def listen(self, hub):
+        # EventHub subscription is a different mechanism entirely.
+        hub.subscribe(self._on_hub_event)
+
+    def _on_event(self, now_ns):
+        self._event = self.kernel.clock.schedule_after(
+            1_000_000, self._on_event, name="daemon.cadence")
+
+    def _on_tick(self, now_ns):
+        pass
+
+    def _on_hub_event(self, event):
+        pass

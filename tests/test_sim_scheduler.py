@@ -1,0 +1,320 @@
+"""The SimClock event calendar: ordering, cancellation, freezing,
+reset, catch-up semantics, and shim equivalence."""
+
+import pytest
+
+from repro.kernel.reaper import OrphanReaper
+from repro.sim.clock import SimClock
+
+
+class TestCalendarBasics:
+    def test_event_fires_during_the_charge_that_crosses_its_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_after(100, fired.append)
+        clock.charge(99)
+        assert fired == []
+        clock.charge(1)
+        assert fired == [100]
+
+    def test_callback_receives_now_possibly_past_the_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(100, fired.append)
+        clock.charge(250)
+        assert fired == [250]
+
+    def test_deadline_at_or_before_now_fires_on_next_charge(self):
+        clock = SimClock()
+        clock.charge(500)
+        fired = []
+        clock.schedule_at(100, fired.append)
+        # Never synchronously inside schedule_at.
+        assert fired == []
+        clock.charge(1)
+        assert fired == [501]
+
+    def test_deadline_ties_fire_fifo_by_schedule_order(self):
+        clock = SimClock()
+        order = []
+        for label in "abcde":
+            clock.schedule_at(100, lambda now, lbl=label: order.append(lbl))
+        clock.charge(100)
+        assert order == list("abcde")
+
+    def test_events_across_deadlines_fire_in_deadline_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule_at(300, lambda now: order.append(300))
+        clock.schedule_at(100, lambda now: order.append(100))
+        clock.schedule_at(200, lambda now: order.append(200))
+        clock.charge(1000)
+        assert order == [100, 200, 300]
+
+    def test_negative_deadline_and_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.schedule_at(-1, lambda now: None)
+        with pytest.raises(ValueError):
+            clock.schedule_after(-1, lambda now: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule_after(100, fired.append)
+        assert event.pending
+        assert clock.cancel(event)
+        assert not event.pending
+        clock.charge(1000)
+        assert fired == []
+
+    def test_cancel_is_idempotent_and_reports_first_win(self):
+        clock = SimClock()
+        event = clock.schedule_after(100, lambda now: None)
+        assert clock.cancel(event)
+        assert not clock.cancel(event)
+        clock.charge(1000)
+        # A fired event cannot be cancelled either.
+        other = clock.schedule_after(10, lambda now: None)
+        clock.charge(10)
+        assert not other.pending
+        assert not clock.cancel(other)
+
+    def test_cancel_shard_only_touches_that_shard(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_after(10, lambda now: fired.append("a"), shard="a")
+        clock.schedule_after(10, lambda now: fired.append("b"), shard="b")
+        clock.schedule_after(10, lambda now: fired.append("a2"), shard="a")
+        assert clock.pending_events(shard="a") == 2
+        assert clock.cancel_shard("a") == 2
+        assert clock.pending_events(shard="a") == 0
+        assert clock.pending_events() == 1
+        clock.charge(10)
+        assert fired == ["b"]
+
+    def test_mass_cancellation_compacts_without_losing_events(self):
+        clock = SimClock()
+        fired = []
+        events = [clock.schedule_at(i + 1, fired.append)
+                  for i in range(100)]
+        for event in events[::2]:
+            clock.cancel(event)
+        assert clock.pending_events() == 50
+        clock.charge(200)
+        assert len(fired) == 50
+
+
+class TestDispatchReentrancy:
+    def test_callback_may_reschedule_itself(self):
+        clock = SimClock()
+        fired = []
+
+        def tick(now_ns):
+            fired.append(now_ns)
+            if len(fired) < 3:
+                clock.schedule_after(100, tick)
+
+        clock.schedule_after(100, tick)
+        for _ in range(5):
+            clock.charge(100)
+        assert fired == [100, 200, 300]
+
+    def test_event_made_due_inside_dispatch_fires_in_same_pass(self):
+        clock = SimClock()
+        fired = []
+
+        def first(now_ns):
+            fired.append("first")
+            # Already due: must fire before this charge() returns.
+            clock.schedule_at(now_ns, lambda now: fired.append("second"))
+
+        clock.schedule_after(10, first)
+        clock.charge(10)
+        assert fired == ["first", "second"]
+
+    def test_callback_charges_do_not_recurse_into_dispatch(self):
+        clock = SimClock()
+        depth = []
+
+        def cb(now_ns):
+            depth.append(len(depth))
+            clock.charge(1_000)   # would re-trigger dispatch if reentrant
+
+        clock.schedule_after(10, cb)
+        clock.schedule_after(20, cb)
+        clock.charge(10)
+        # Both fired exactly once, sequentially (no recursion blow-up).
+        assert depth == [0, 1]
+
+
+class TestFrozenInteraction:
+    def test_no_events_fire_while_frozen(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_after(10, fired.append)
+        with clock.frozen():
+            clock.charge(1_000_000)
+        assert fired == []
+        assert clock.now_ns == 0
+        clock.charge(10)
+        assert fired == [10]
+
+
+class TestReset:
+    def test_reset_cancels_pending_events(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule_after(10, fired.append)
+        clock.reset()
+        assert not event.pending
+        assert clock.pending_events() == 0
+        clock.charge(1_000)
+        assert fired == []
+        # Cancelling a stale handle after reset is a harmless no-op.
+        assert not clock.cancel(event)
+
+    def test_reset_clears_watcher_bookkeeping(self):
+        clock = SimClock()
+        ticks = []
+        clock.subscribe(ticks.append)
+        clock.charge(5)
+        clock.reset()
+        clock.charge(5)
+        assert ticks == [5]    # nothing from the post-reset timeline
+
+    def test_back_to_back_phases_do_not_inherit_cadence(self):
+        """Regression: a daemon left scheduled across reset() used to
+        misfire into the next benchmark phase with stale deadlines."""
+        clock = SimClock()
+        fired = []
+
+        def tick(now_ns):
+            fired.append(now_ns)
+            clock.schedule_after(100, tick)
+
+        clock.schedule_after(100, tick)
+        clock.charge(250)          # phase 1: fires once (catch-up)
+        assert fired == [250]
+        clock.reset()
+        clock.charge(99)           # phase 2: fresh timeline, no daemon
+        assert fired == [250]
+        # Restarting the daemon binds it to the new timeline.
+        clock.schedule_after(100, tick)
+        clock.charge(100)
+        assert fired == [250, 199]
+
+    def test_reset_still_zeroes_time_and_categories(self):
+        clock = SimClock()
+        clock.charge(123, "dma")
+        clock.reset()
+        assert clock.now_ns == 0
+        assert clock.categories() == {}
+
+
+class TestSubscribeShim:
+    def test_shim_still_fans_out_per_charge(self):
+        clock = SimClock()
+        ticks = []
+        unsubscribe = clock.subscribe(ticks.append)
+        clock.charge(5)
+        clock.charge(7)
+        assert ticks == [5, 12]
+        unsubscribe()
+        clock.charge(3)
+        assert ticks == [5, 12]
+
+    def test_shim_and_calendar_daemons_agree_on_cadence(self):
+        """Equivalence: a cadence daemon fires at the same simulated
+        times whether it polls from a subscriber or rides the calendar."""
+        charges = [40, 40, 40, 250, 10, 100, 60]
+        interval = 100
+
+        def run_subscriber():
+            clock = SimClock()
+            fires = []
+            state = {"due": interval}
+
+            def on_tick(now_ns):
+                if now_ns >= state["due"]:
+                    fires.append(now_ns)
+                    state["due"] = now_ns + interval
+
+            clock.subscribe(on_tick)
+            for ns in charges:
+                clock.charge(ns)
+            return fires
+
+        def run_calendar():
+            clock = SimClock()
+            fires = []
+
+            def on_event(now_ns):
+                fires.append(now_ns)
+                clock.schedule_after(interval, on_event)
+
+            clock.schedule_after(interval, on_event)
+            for ns in charges:
+                clock.charge(ns)
+            return fires
+
+        assert run_subscriber() == run_calendar()
+
+
+class TestCadenceCatchUp:
+    """Satellite: one large charge jumping several intervals fires a
+    periodic daemon once, with the next deadline realigned from now —
+    not once per missed interval."""
+
+    def test_calendar_daemon_fires_once_per_large_jump(self):
+        clock = SimClock()
+        fired = []
+
+        def tick(now_ns):
+            fired.append(now_ns)
+            clock.schedule_after(100, tick)
+
+        clock.schedule_after(100, tick)
+        clock.charge(1_000)        # crosses 10 would-be intervals
+        assert fired == [1_000]
+        clock.charge(99)
+        assert fired == [1_000]
+        clock.charge(1)            # realigned: next fire at 1_000 + 100
+        assert fired == [1_000, 1_100]
+
+    def test_reaper_catch_up_fires_one_scan_and_realigns(self, kernel):
+        reaper = OrphanReaper(kernel, interval_ns=1_000).start()
+        assert reaper.scans == 0
+        kernel.clock.charge(5_500)         # 5.5 intervals in one charge
+        assert reaper.scans == 1
+        before = kernel.clock.now_ns
+        # Next scan is one interval after the catch-up scan completed
+        # (the scan itself charges syscall time), not at a stale
+        # multiple of the original phase.
+        assert reaper._next_due_ns >= before
+        kernel.clock.charge(reaper._next_due_ns - kernel.clock.now_ns)
+        assert reaper.scans == 2
+        reaper.stop()
+
+    def test_reaper_event_and_shim_arms_scan_equally(self, kernel):
+        charges = [400, 400, 400, 2_500, 100, 1_000, 600]
+
+        def run(use_events):
+            kernel.clock.reset()
+            reaper = OrphanReaper(kernel, interval_ns=1_000)
+            reaper.start(use_events=use_events)
+            for ns in charges:
+                kernel.clock.charge(ns)
+            reaper.stop()
+            return reaper.scans
+
+        assert run(True) == run(False)
+
+    def test_stopped_reaper_fires_no_more_events(self, kernel):
+        reaper = OrphanReaper(kernel, interval_ns=1_000).start()
+        reaper.stop()
+        kernel.clock.charge(10_000)
+        assert reaper.scans == 0
+        assert kernel.clock.pending_events() == 0
