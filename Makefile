@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize soak bench bench-e18 bench-quick tables examples all clean
+.PHONY: install test lint sanitize soak bench bench-e18 bench-e19 bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -36,6 +36,13 @@ soak:
 bench-e18:
 	$(PY) benchmarks/report.py -o BENCH.json \
 		benchmarks/bench_e18_cluster_scale.py
+
+# The E19 distributed-lock-manager sweep: three lock designs on the
+# remote atomic verbs, clean throughput plus the kill-at-every-step
+# lease-recovery SLO (p50/p99); numbers land in BENCH_E19.json.
+bench-e19:
+	$(PY) benchmarks/report.py -o BENCH_E19.json \
+		benchmarks/bench_e19_dlm.py
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

@@ -43,12 +43,14 @@ REGISTER = "register"              #: driver registration (handle, pid, frames,
                                    #: backend, first_vpn, npages)
 DEREGISTER = "deregister"          #: driver deregistration (handle, pid)
 TASK_EXIT = "task_exit"            #: process gone (pid, cleanup)
+ATOMIC_RMW = "atomic_rmw"          #: remote atomic RMW on one 8-byte word
+                                   #: (frame, offset, op, engine)
 
 #: Every kind the instrumented layers emit.
 EVENT_KINDS: tuple[str, ...] = (
     PIN, UNPIN, MLOCK, MUNLOCK, DMA_BEGIN, DMA_END, SWAP_OUT, SWAP_IN,
     TPT_INSERT, TPT_INVALIDATE, TPT_TRANSLATE, MUNMAP, REGISTER,
-    DEREGISTER, TASK_EXIT,
+    DEREGISTER, TASK_EXIT, ATOMIC_RMW,
 )
 
 _hub_ids = itertools.count(0)

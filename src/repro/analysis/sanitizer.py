@@ -30,6 +30,13 @@ paper's locking mechanisms exist to guarantee.  The violation catalog:
     driver reported for it — admission control and the accounting it
     relies on have diverged (the event stream is the ground truth the
     budget books are checked against).
+``atomic-nonatomic-overlap``
+    a plain DMA write touched a registered word the adapter has served
+    remote atomics on (or an atomic landed inside an open plain-write
+    window).  Adapter RMWs are atomic only with respect to *other
+    adapter RMWs* — a plain RDMA/DMA write to the same word is a data
+    race that can tear a compare-and-swap, so the two access classes
+    must never mix on one word while its registration is live.
 
 Each violation carries a happens-before trail: the recent events that
 share a frame, pid, or handle with the trigger, in emission order.
@@ -72,7 +79,13 @@ CHECKS: tuple[str, ...] = (
     "registration-leak",
     "swap-registered",
     "quota-breach",
+    "atomic-nonatomic-overlap",
 )
+
+#: DMA window ops that are plain (non-atomic) writes to memory, for the
+#: ``atomic-nonatomic-overlap`` check.  The ``"atomic"`` window an RMW
+#: opens over its own word is deliberately absent.
+_PLAIN_WRITE_OPS: frozenset[str] = frozenset({"write", "write_scatter"})
 
 #: Backends whose registrations are guarded by VM_LOCKED, and therefore
 #: annulled by any munlock over their range (§3.2).
@@ -164,6 +177,12 @@ class PinSanitizer:
         self._uid_pages: dict[tuple[Any, int], int] = {}
         #: last quota each (scope, uid) was registered under
         self._uid_quota: dict[tuple[Any, int], int] = {}
+        #: word offsets adapter atomics have hit, per (scope, frame);
+        #: cleared when the frame loses its last live registration
+        self._atomic_words: dict[tuple[Any, int], set[int]] = {}
+        #: open plain-write DMA spans as (offset, nbytes), per
+        #: (scope, frame)
+        self._write_spans: dict[tuple[Any, int], list[tuple[int, int]]] = {}
         self._handlers: dict[str, Callable[[SanEvent, Any], None]] = {
             ev.PIN: self._on_pin,
             ev.UNPIN: self._on_unpin,
@@ -173,6 +192,7 @@ class PinSanitizer:
             ev.MUNLOCK: self._on_munlock,
             ev.TPT_INVALIDATE: self._on_tpt_invalidate,
             ev.TPT_TRANSLATE: self._on_tpt_translate,
+            ev.ATOMIC_RMW: self._on_atomic_rmw,
             ev.REGISTER: self._on_register,
             ev.DEREGISTER: self._on_deregister,
             ev.TASK_EXIT: self._on_task_exit,
@@ -419,6 +439,9 @@ class PinSanitizer:
                 owners.discard(handle)
                 if not owners:
                     del self._reg_frames[frame_key]
+                    # A frame with no live registration can be reused
+                    # for anything; its atomic-word history is moot.
+                    self._atomic_words.pop(frame_key, None)
 
     # -- handlers ------------------------------------------------------------
 
@@ -454,6 +477,21 @@ class PinSanitizer:
         for frame in event["frames"]:
             key = (scope, frame)
             self._dma[key] = self._dma.get(key, 0) + 1
+        spans = event.get("spans")
+        if spans and event.get("op") in _PLAIN_WRITE_OPS:
+            for frame, offset, n in spans:
+                key = (scope, frame)
+                for word in self._atomic_words.get(key, ()):
+                    if word < offset + n and word + 8 > offset:
+                        self._report(
+                            "atomic-nonatomic-overlap", event, scope,
+                            f"plain DMA {event.get('op')} over "
+                            f"[{offset}, {offset + n}) of frame {frame} "
+                            f"hits word {word}, which the adapter serves "
+                            f"remote atomics on — a plain write can tear "
+                            f"a concurrent RMW",
+                            frames=(frame,))
+                self._write_spans.setdefault(key, []).append((offset, n))
 
     def _on_dma_end(self, event: SanEvent, scope: Any) -> None:
         for frame in event["frames"]:
@@ -463,6 +501,32 @@ class PinSanitizer:
                 self._dma.pop(key, None)
             else:
                 self._dma[key] = current - 1
+        spans = event.get("spans")
+        if spans and event.get("op") in _PLAIN_WRITE_OPS:
+            for frame, offset, n in spans:
+                key = (scope, frame)
+                open_spans = self._write_spans.get(key)
+                if open_spans is None:
+                    continue
+                try:
+                    open_spans.remove((offset, n))
+                except ValueError:
+                    pass
+                if not open_spans:
+                    del self._write_spans[key]
+
+    def _on_atomic_rmw(self, event: SanEvent, scope: Any) -> None:
+        frame, offset = event["frame"], event["offset"]
+        key = (scope, frame)
+        for span_off, span_n in self._write_spans.get(key, ()):
+            if span_off < offset + 8 and span_off + span_n > offset:
+                self._report(
+                    "atomic-nonatomic-overlap", event, scope,
+                    f"atomic RMW on word {offset} of frame {frame} "
+                    f"landed inside an open plain-write window over "
+                    f"[{span_off}, {span_off + span_n})",
+                    frames=(frame,))
+        self._atomic_words.setdefault(key, set()).add(offset)
 
     def _on_swap_out(self, event: SanEvent, scope: Any) -> None:
         frame = event["frame"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.analysis.events import DMA_BEGIN, DMA_END
+from repro.analysis.events import ATOMIC_RMW, DMA_BEGIN, DMA_END
 from repro.errors import DMAFault
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
 from repro.obs.metrics import SIZE_BUCKETS
@@ -109,23 +109,29 @@ class DMAEngine:
                               buckets=SIZE_BUCKETS).observe(total)
 
     def _window_open(self, op: str, runs: list[tuple[int, int]]
-                     ) -> tuple[int, ...] | None:
+                     ) -> tuple[tuple[int, int, int], ...] | None:
         """Open a sanitizer DMA window over the frames the transfer will
-        touch; returns the frame tuple to pass to :meth:`_window_close`,
-        or None when nobody is listening (the common case — one
-        attribute load and one branch)."""
+        touch; returns the byte-precise ``(frame, offset, n)`` span tuple
+        to pass to :meth:`_window_close`, or None when nobody is
+        listening (the common case — one attribute load and one
+        branch)."""
         events = self._events
         if events is None or not events.active:
             return None
-        frames = tuple(frame for addr, length in runs
-                       for frame, _offset, _n in self._bursts(addr, length))
-        events.emit(DMA_BEGIN, frames=frames, op=op, engine=self.name)
-        return frames
+        spans = tuple((frame, offset, n) for addr, length in runs
+                      for frame, offset, n in self._bursts(addr, length))
+        frames = tuple(frame for frame, _offset, _n in spans)
+        events.emit(DMA_BEGIN, frames=frames, op=op, engine=self.name,
+                    spans=spans)
+        return spans
 
-    def _window_close(self, op: str, frames: tuple[int, ...] | None) -> None:
-        if frames is not None:
+    def _window_close(self, op: str,
+                      spans: tuple[tuple[int, int, int], ...] | None
+                      ) -> None:
+        if spans is not None:
+            frames = tuple(frame for frame, _offset, _n in spans)
             self._events.emit(DMA_END, frames=frames, op=op,
-                              engine=self.name)
+                              engine=self.name, spans=spans)
 
     def _maybe_fault(self, op: str, phys_addr: int, length: int) -> None:
         """Raise an injected :class:`DMAFault` when the plan says so —
@@ -242,3 +248,44 @@ class DMAEngine:
         if self._trace is not None:
             self._trace.emit("dma_write", engine=self.name, phys_addr=first,
                              length=total, bursts=len(runs))
+
+    def atomic_rmw(self, phys_addr: int, fn) -> int:
+        """Atomically read-modify-write the 8-byte word at ``phys_addr``.
+
+        ``fn`` maps the old 64-bit value to the new one (the result is
+        masked to 64 bits).  Returns the *original* value.  The word must
+        be naturally aligned — an 8-byte-aligned word never straddles a
+        frame, so the RMW is a single-frame operation.  Like every other
+        engine entry point this trusts the physical address; callers
+        (the NIC) validate translation, alignment, and pinning first.
+        """
+        length = 8
+        frame, offset = PhysicalMemory.split_phys(phys_addr)
+        if offset % length:
+            raise DMAFault(
+                f"{self.name}: atomic RMW at {phys_addr:#x} is not "
+                f"{length}-byte aligned")
+        self._maybe_fault("atomic", phys_addr, length)
+        events = self._events
+        window = self._window_open("atomic", [(phys_addr, length)])
+        if events is not None and events.active:
+            events.emit(ATOMIC_RMW, frame=frame, offset=offset,
+                        engine=self.name)
+        try:
+            self._clock.charge(self._costs.dma_setup_ns, "dma")
+            self._clock.charge(self._costs.atomic_rmw_ns, "dma")
+            old = int.from_bytes(self._phys.read(frame, offset, length),
+                                 "little")
+            new = fn(old) & 0xFFFF_FFFF_FFFF_FFFF
+            self._phys.write(frame, offset, new.to_bytes(length, "little"))
+        finally:
+            self._window_close("atomic", window)
+        self.bytes_read += length
+        self.bytes_written += length
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("hw.dma.atomics").inc()
+        if self._trace is not None:
+            self._trace.emit("dma_atomic", engine=self.name,
+                             phys_addr=phys_addr, old=old, new=new)
+        return old

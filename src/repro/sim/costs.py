@@ -70,6 +70,13 @@ class CostModel:
     pio_stream_per_byte_ns: float = 12.0
     nic_wire_latency_ns: int = 4_000  #: fabric propagation per packet
     completion_post_ns: int = 800    #: NIC writes completion, CPU polls it
+    #: responder-side read-modify-write of one 8-byte word (the NIC's
+    #: embedded atomic unit; charged once per remote atomic served)
+    atomic_rmw_ns: int = 600
+    #: how long the atomic unit holds the target word after an RMW —
+    #: a second atomic to the *same* word arriving inside the window
+    #: stalls until it closes (per-word serialization)
+    atomic_contention_window_ns: int = 2_500
     #: retransmission timer of a RELIABLE VI: initial expiry, exponential
     #: backoff factor, and the cap the backoff saturates at
     retransmit_timeout_ns: int = 20_000
@@ -117,4 +124,5 @@ FREE = CostModel(
     pio_stream_per_byte_ns=0.0,
     nic_wire_latency_ns=0, completion_post_ns=0, reschedule_ns=0,
     retransmit_timeout_ns=0, retransmit_timeout_max_ns=0,
+    atomic_rmw_ns=0, atomic_contention_window_ns=0,
 )

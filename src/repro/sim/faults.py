@@ -75,10 +75,23 @@ TRANSFER_CRASH_POINTS: dict[str, str] = {
     "xfer.fin_received": "receiver",
 }
 
+#: Crash points inside a distributed-lock-manager critical section, in
+#: execution order: right after the lock is acquired, between the read
+#: and the write of the protected word, after the write, and on the
+#: verge of releasing.  Each one leaves the lock *held by a corpse* —
+#: the recovery path (lease expiry or connection-loss detection, then
+#: forced reclaim) is what the DLM chaos sweep exercises.
+DLM_CRASH_POINTS: tuple[str, ...] = (
+    "dlm.acquired",
+    "dlm.cs_read",
+    "dlm.cs_write",
+    "dlm.before_release",
+)
+
 #: Every crash point a plan may name.
 CRASH_POINTS: tuple[str, ...] = (
     REGISTRATION_CRASH_POINTS + KERNEL_CRASH_POINTS
-    + tuple(TRANSFER_CRASH_POINTS))
+    + tuple(TRANSFER_CRASH_POINTS) + DLM_CRASH_POINTS)
 
 
 @dataclass

@@ -30,6 +30,13 @@ class DescriptorType(enum.Enum):
     RECV = "recv"
     RDMA_WRITE = "rdma_write"
     RDMA_READ = "rdma_read"
+    ATOMIC_CMPSWAP = "atomic_cmpswap"
+    ATOMIC_FETCHADD = "atomic_fetchadd"
+
+
+#: The remote-atomic descriptor types (compare-and-swap, fetch-and-add).
+ATOMIC_TYPES = frozenset({DescriptorType.ATOMIC_CMPSWAP,
+                          DescriptorType.ATOMIC_FETCHADD})
 
 
 class ReliabilityLevel(enum.Enum):
@@ -55,6 +62,18 @@ MAX_SEGMENTS = 8
 #: Maximum bytes of immediate data a descriptor can carry (VIA spec: the
 #: descriptor's ImmediateData field is 32 bits).
 IMMEDIATE_DATA_BYTES = 4
+
+#: Remote atomics operate on one naturally-aligned 64-bit word.
+ATOMIC_OPERAND_BYTES = 8
+
+#: Atomic operands and target words are 64-bit; FETCH_ADD wraps mod 2^64.
+ATOMIC_OPERAND_MASK = (1 << 64) - 1
+
+#: Responder-side atomic responses cached per VI for retransmit dedup.
+#: The reliable request/response exchange is synchronous (one atomic in
+#: flight per VI), so only the most recent sequence numbers can ever be
+#: replayed; a small bound keeps the cache O(1).
+ATOMIC_RESPONSE_CACHE = 32
 
 #: Default TPT capacity, in page entries.
 DEFAULT_TPT_ENTRIES = 8192

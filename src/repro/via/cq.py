@@ -22,6 +22,11 @@ class Completion:
     vi_id: int
     queue: str              #: ``"send"`` or ``"recv"``
     descriptor: "Descriptor"
+    #: typed original-value carry for remote atomics: the value the
+    #: target word held before the RMW.  A dedicated field — atomics do
+    #: not alias ``immediate_data`` (that carry is 4 bytes and already
+    #: owned by send/RDMA-write semantics).
+    atomic_original_value: int | None = None
 
 
 class CompletionQueue:

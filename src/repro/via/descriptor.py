@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import DescriptorError
 from repro.via.constants import (
+    ATOMIC_OPERAND_BYTES, ATOMIC_OPERAND_MASK, ATOMIC_TYPES,
     IMMEDIATE_DATA_BYTES, MAX_SEGMENTS, VIP_NOT_DONE, DescriptorType,
 )
 
@@ -46,9 +47,14 @@ class Descriptor:
     segments: list[DataSegment] = field(default_factory=list)
     #: up to 4 bytes travelling inside the descriptor itself
     immediate_data: bytes | None = None
-    #: RDMA only: target registered region on the remote node
+    #: RDMA/atomic only: target registered region on the remote node
     remote_handle: int | None = None
     remote_va: int | None = None
+    #: atomic operands (64-bit): CMPSWAP uses ``compare``/``swap``,
+    #: FETCHADD uses ``add``
+    compare: int | None = None
+    swap: int | None = None
+    add: int | None = None
 
     # -- completion fields (owned by the NIC) --------------------------------
     done: bool = False
@@ -56,6 +62,9 @@ class Descriptor:
     length_transferred: int = 0
     #: immediate data delivered into a receive descriptor
     received_immediate: bytes | None = None
+    #: value the target word held before an atomic executed (typed field;
+    #: atomics never alias ``immediate_data``)
+    atomic_original_value: int | None = None
     #: simulated time the NIC accepted the descriptor (stamped at post;
     #: the orphan reaper uses it to age out abandoned descriptors)
     posted_at_ns: int | None = None
@@ -81,8 +90,9 @@ class Descriptor:
                 and len(self.immediate_data) > IMMEDIATE_DATA_BYTES):
             raise DescriptorError(
                 f"immediate data limited to {IMMEDIATE_DATA_BYTES} bytes")
-        if self.dtype in (DescriptorType.RDMA_WRITE,
-                          DescriptorType.RDMA_READ):
+        if (self.dtype in (DescriptorType.RDMA_WRITE,
+                           DescriptorType.RDMA_READ)
+                or self.dtype in ATOMIC_TYPES):
             if self.remote_handle is None or self.remote_va is None:
                 raise DescriptorError(
                     f"{self.dtype.value} descriptor needs remote_handle "
@@ -91,8 +101,58 @@ class Descriptor:
             raise DescriptorError(
                 f"{self.dtype.value} descriptor must not carry remote "
                 f"addressing")
-        if self.dtype == DescriptorType.RDMA_READ and self.immediate_data:
+        # `is not None`: zero-length immediate data is still immediate
+        # data and must not slip through a truthiness check.
+        if (self.dtype == DescriptorType.RDMA_READ
+                and self.immediate_data is not None):
             raise DescriptorError("RDMA read cannot carry immediate data")
+        if self.dtype in ATOMIC_TYPES:
+            self._validate_atomic()
+        elif (self.compare is not None or self.swap is not None
+                or self.add is not None):
+            raise DescriptorError(
+                f"{self.dtype.value} descriptor must not carry atomic "
+                f"operands")
+
+    def _validate_atomic(self) -> None:
+        """Atomic-specific shape rules (VIA has no atomics; these follow
+        the InfiniBand verbs they are modelled on)."""
+        if self.immediate_data is not None:
+            raise DescriptorError(
+                f"{self.dtype.value} cannot carry immediate data; the "
+                f"original value returns in atomic_original_value")
+        if len(self.segments) != 1:
+            raise DescriptorError(
+                f"{self.dtype.value} needs exactly one local segment for "
+                f"the original value, got {len(self.segments)}")
+        seg = self.segments[0]
+        if seg.length != ATOMIC_OPERAND_BYTES:
+            raise DescriptorError(
+                f"{self.dtype.value} local segment must be "
+                f"{ATOMIC_OPERAND_BYTES} bytes, got {seg.length}")
+        assert self.remote_va is not None
+        if self.remote_va % ATOMIC_OPERAND_BYTES:
+            raise DescriptorError(
+                f"atomic target va {self.remote_va:#x} is not "
+                f"{ATOMIC_OPERAND_BYTES}-byte aligned")
+        if self.dtype == DescriptorType.ATOMIC_CMPSWAP:
+            wanted = {"compare": self.compare, "swap": self.swap}
+            stray = {"add": self.add}
+        else:
+            wanted = {"add": self.add}
+            stray = {"compare": self.compare, "swap": self.swap}
+        for name, value in wanted.items():
+            if value is None:
+                raise DescriptorError(
+                    f"{self.dtype.value} requires operand {name!r}")
+            if not 0 <= value <= ATOMIC_OPERAND_MASK:
+                raise DescriptorError(
+                    f"atomic operand {name!r}={value} outside the "
+                    f"unsigned 64-bit range")
+        for name, value in stray.items():
+            if value is not None:
+                raise DescriptorError(
+                    f"{self.dtype.value} must not carry operand {name!r}")
 
     def complete(self, status: str, length: int = 0) -> None:
         """Mark the descriptor finished (NIC side)."""
@@ -129,3 +189,23 @@ class Descriptor:
         """Build an RDMA-read descriptor (data flows remote → local)."""
         return cls(DescriptorType.RDMA_READ, segments,
                    remote_handle=remote_handle, remote_va=remote_va)
+
+    @classmethod
+    def atomic_cmpswap(cls, segments: list[DataSegment], remote_handle: int,
+                       remote_va: int, compare: int,
+                       swap: int) -> "Descriptor":
+        """Build a compare-and-swap descriptor: iff the remote word equals
+        ``compare``, store ``swap``; the original value lands in the one
+        local segment and in ``atomic_original_value``."""
+        return cls(DescriptorType.ATOMIC_CMPSWAP, segments,
+                   remote_handle=remote_handle, remote_va=remote_va,
+                   compare=compare, swap=swap)
+
+    @classmethod
+    def atomic_fetchadd(cls, segments: list[DataSegment], remote_handle: int,
+                        remote_va: int, add: int) -> "Descriptor":
+        """Build a fetch-and-add descriptor: add ``add`` to the remote
+        word (mod 2^64) and return the original value."""
+        return cls(DescriptorType.ATOMIC_FETCHADD, segments,
+                   remote_handle=remote_handle, remote_va=remote_va,
+                   add=add)

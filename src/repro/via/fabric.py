@@ -56,6 +56,10 @@ class Packet:
     remote_va: int | None = None
     #: RDMA read only: how many bytes to fetch
     read_length: int = 0
+    #: atomic only: 64-bit operands (CMPSWAP: compare/swap, FETCHADD: add)
+    compare: int | None = None
+    swap: int | None = None
+    add: int | None = None
     #: sequence number on RELIABLE VIs (0 = unsequenced)
     seq: int = 0
     #: link-layer CRC of ``payload`` (None = sender did not stamp one)
@@ -342,3 +346,64 @@ class Fabric:
         if attempt.kind == "delivered":
             return attempt.status, payload
         return VIP_ERROR_CONN_LOST, b""
+
+    def attempt_atomic(self, src: "VIANic", packet: Packet,
+                       reliability: ReliabilityLevel
+                       ) -> tuple[Attempt, int]:
+        """One round-trip attempt of a remote atomic (CMPSWAP/FETCHADD).
+
+        Shaped like :meth:`attempt_rdma_read`, with one crucial
+        difference: an atomic is *not* idempotent.  When the response is
+        lost *after* the responder executed the RMW, the requester's
+        retransmit must be answered from the responder's per-sequence
+        response cache (see :meth:`~repro.via.nic.VIANic.serve_atomic`),
+        never re-executed — re-applying a FETCH_ADD or re-judging a
+        CMPSWAP against the mutated word would corrupt the target.
+        The fabric deliberately rolls the response-loss fault *after*
+        calling the responder, so chaos plans exercise exactly that
+        executed-but-unacknowledged window.
+        """
+        plan = self.fault_plan
+        trace = src.kernel.trace
+        obs = src.kernel.obs
+        self.packets_sent += 2   # request + response
+        if obs.enabled:
+            obs.metrics.counter("via.fabric.packets_sent").inc(2)
+        # request carries two 8-byte operands, response one 8-byte word
+        self._charge_wire(src, 16)
+
+        if self._roll_drop():   # request lost (never executed — safe)
+            self.packets_dropped += 1
+            obs.inc("via.fabric.packets_dropped")
+            trace.emit("packet_lost", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq, atomic="req")
+            return Attempt("dropped"), 0
+
+        # Duplicate the *request*: the responder sees the same seq twice
+        # and must serve the second from its dedup cache.
+        dst = self.nic(packet.dst_nic)
+        if plan is not None and plan.should_duplicate():
+            obs.inc("via.fabric.packets_duplicated")
+            trace.emit("packet_duplicated", dst=packet.dst_nic,
+                       vi=packet.dst_vi, seq=packet.seq, atomic="req")
+            dst.serve_atomic(packet, reliability)
+
+        status, original = dst.serve_atomic(packet, reliability)
+        self._charge_wire(src, 8)
+
+        if status == VIP_SUCCESS and self._roll_drop():  # response lost
+            self.packets_dropped += 1
+            obs.inc("via.fabric.packets_dropped")
+            trace.emit("packet_lost", dst=packet.src_nic,
+                       vi=packet.src_vi, seq=packet.seq, atomic="resp")
+            return Attempt("dropped"), 0
+
+        if (status == VIP_SUCCESS and plan is not None
+                and plan.should_corrupt()):
+            trace.emit("packet_corrupted", dst=packet.src_nic,
+                       vi=packet.src_vi, seq=packet.seq, atomic="resp")
+            self.packets_nacked += 1
+            obs.inc("via.fabric.packets_nacked")
+            return Attempt("nack"), 0
+
+        return Attempt("delivered", status), original

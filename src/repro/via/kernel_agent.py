@@ -113,7 +113,8 @@ class KernelAgent:
 
     def register_memory(self, task: "Task", va: int, nbytes: int,
                         rdma_write: bool = False,
-                        rdma_read: bool = False) -> Registration:
+                        rdma_read: bool = False,
+                        rdma_atomic: bool = False) -> Registration:
         """Register ``[va, va+nbytes)``: pin via the backend, record the
         physical pages in the TPT under the task's protection tag.
 
@@ -155,7 +156,8 @@ class KernelAgent:
             region = self.nic.tpt.install(
                 va_base=va, nbytes=nbytes, prot_tag=tag,
                 frames=result.frames, rdma_write=rdma_write,
-                rdma_read=rdma_read, lock_cookie=result.cookie)
+                rdma_read=rdma_read, rdma_atomic=rdma_atomic,
+                lock_cookie=result.cookie)
         except ProcessKilled:
             # The registering process died here: the kill's exit path has
             # already released the backend's state (the kiobuf sweep, the

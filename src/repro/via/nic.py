@@ -26,10 +26,13 @@ from repro.errors import (
     ViaConnectionError, ViaError,
 )
 from repro.hw.dma import DMAEngine
+from repro.hw.physmem import PhysicalMemory
+from repro.kernel.flags import VM_LOCKED
 from repro.via.constants import (
+    ATOMIC_OPERAND_BYTES, ATOMIC_RESPONSE_CACHE, ATOMIC_TYPES,
     MAX_RETRANSMITS, VIP_DESCRIPTOR_ERROR, VIP_ERROR_CONN_LOST,
-    VIP_ERROR_NIC, VIP_NOT_DONE, VIP_SUCCESS, DescriptorType,
-    ReliabilityLevel, ViState,
+    VIP_ERROR_NIC, VIP_INVALID_MEMORY, VIP_INVALID_PARAMETER,
+    VIP_NOT_DONE, VIP_SUCCESS, DescriptorType, ReliabilityLevel, ViState,
 )
 from repro.via.cq import CompletionQueue
 from repro.via.descriptor import Descriptor
@@ -67,12 +70,20 @@ class VIANic:
         self.recvs_completed = 0
         self.rdma_writes_completed = 0
         self.rdma_reads_completed = 0
+        self.atomics_completed = 0    #: requester-side atomic completions
+        self.atomics_served = 0       #: responder-side RMWs executed
+        self.atomic_replays = 0       #: retransmits answered from cache
+        self.atomic_rejects = 0       #: misaligned/unregistered/unpinned
         self.recv_drops = 0           #: arrivals with no posted descriptor
         self.protection_faults = 0
         self.retransmits = 0          #: reliable-mode resends
         self.duplicates_dropped = 0   #: retransmits deduplicated by seq
         self.dma_faults = 0           #: injected DMA failures absorbed
         self.resets = 0               #: NIC resets (fault injection)
+        #: per-word serialization of the atomic unit: flat physical word
+        #: address → simulated time the word is held until.  An atomic
+        #: arriving inside another atomic's contention window stalls.
+        self._atomic_busy: dict[int, int] = {}
 
     # ------------------------------------------------------------------ VIs
 
@@ -153,6 +164,8 @@ class VIANic:
         self.resets += 1
         self.kernel.obs.inc("via.nic.resets")
         self.tpt.invalidate_translations()
+        # the atomic unit's word-hold latches are on-adapter state too
+        self._atomic_busy.clear()
         self.kernel.trace.emit("nic_reset", nic=self.name, reason=reason)
         for vi in self.vis.values():
             if vi.state != ViState.IDLE:
@@ -194,6 +207,11 @@ class VIANic:
         if desc.dtype == DescriptorType.RECV:
             raise DescriptorError(
                 "cannot post a recv descriptor to a send queue")
+        if (desc.dtype in ATOMIC_TYPES
+                and vi.reliability == ReliabilityLevel.UNRELIABLE):
+            raise DescriptorError(
+                "atomic verbs require a RELIABLE VI: sequence-number "
+                "dedup of retransmits is what makes them safe to replay")
         vi.send_doorbell.ring(pid)
         vi.require_connected()
         self._charge_post()
@@ -272,6 +290,12 @@ class VIANic:
             if desc.dtype == DescriptorType.RECV:
                 raise DescriptorError(
                     "cannot post a recv descriptor to a send queue")
+            if (desc.dtype in ATOMIC_TYPES
+                    and vi.reliability == ReliabilityLevel.UNRELIABLE):
+                raise DescriptorError(
+                    "atomic verbs require a RELIABLE VI: sequence-number "
+                    "dedup of retransmits is what makes them safe to "
+                    "replay")
         vi.send_doorbell.ring(pid)
         vi.require_connected()
         self._charge_post_batch(len(descs))
@@ -401,6 +425,9 @@ class VIANic:
         if desc.dtype == DescriptorType.RDMA_READ:
             self._execute_rdma_read(vi, desc, local_segs)
             return
+        if desc.dtype in ATOMIC_TYPES:
+            self._execute_atomic(vi, desc, local_segs)
+            return
 
         try:
             payload = self.dma.read_gather(local_segs)
@@ -466,6 +493,84 @@ class VIANic:
         if self.kernel.obs.enabled:
             self._observe_completion(desc, "send")
         self.rdma_reads_completed += 1
+
+    def _execute_atomic(self, vi: VirtualInterface, desc: Descriptor,
+                        local_segs: list[tuple[int, int]]) -> None:
+        """Run one remote atomic round trip and land the original value
+        in the descriptor's single local segment."""
+        assert self.fabric is not None and vi.peer is not None
+        dst_nic, dst_vi = vi.peer
+        packet = Packet(
+            kind=desc.dtype, src_nic=self.name, src_vi=vi.vi_id,
+            dst_nic=dst_nic, dst_vi=dst_vi,
+            remote_handle=desc.remote_handle, remote_va=desc.remote_va,
+            compare=desc.compare, swap=desc.swap, add=desc.add)
+        # Atomics ride the reliable sequence space: the responder's
+        # dedup cache is keyed by this seq, so a retransmit after a lost
+        # response returns the cached original value, never a re-execute.
+        vi.tx_seq += 1
+        packet.seq = vi.tx_seq
+        status, original = self._fetch_atomic_reliable(vi, packet)
+        if status != VIP_SUCCESS:
+            desc.complete(status, 0)
+            vi.complete_send(desc)
+            vi.enter_error()
+            return
+        try:
+            self.dma.write_scatter(
+                local_segs, original.to_bytes(ATOMIC_OPERAND_BYTES,
+                                              "little"))
+        except DMAFault:
+            self._fail_send_dma(vi, desc)
+            return
+        desc.atomic_original_value = original
+        desc.complete(VIP_SUCCESS, ATOMIC_OPERAND_BYTES)
+        vi.complete_send(desc)
+        self.atomics_completed += 1
+        obs = self.kernel.obs
+        if obs.enabled:
+            self._observe_completion(desc, "send")
+            obs.metrics.counter("via.atomic.completed").inc()
+
+    def _fetch_atomic_reliable(self, vi: VirtualInterface,
+                               packet: Packet) -> tuple[str, int]:
+        """Atomic round trip with retransmission.  Unlike RDMA reads a
+        retry is *not* a re-execute: the responder answers replayed
+        sequence numbers from its response cache."""
+        assert self.fabric is not None
+        clock = self.kernel.clock
+        costs = self.kernel.costs
+        trace = self.kernel.trace
+        obs = self.kernel.obs
+        timeout_ns = costs.retransmit_timeout_ns
+        for attempt in range(self.max_retransmits + 1):
+            if attempt:
+                self.retransmits += 1
+                if obs.enabled:
+                    obs.metrics.counter("via.nic.retransmits").inc()
+                trace.emit("via_retransmit", nic=self.name, vi=vi.vi_id,
+                           seq=packet.seq, attempt=attempt,
+                           atomic=packet.kind.value)
+            outcome, original = self.fabric.attempt_atomic(
+                self, packet, vi.reliability)
+            if outcome.kind == "delivered":
+                return outcome.status, original
+            if outcome.kind == "dropped":
+                clock.charge(timeout_ns, "retransmit")
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "via.nic.backoff_wait_ns").inc(timeout_ns)
+                trace.emit("via_retransmit_timeout", nic=self.name,
+                           vi=vi.vi_id, seq=packet.seq,
+                           waited_ns=timeout_ns, cause="dropped")
+                timeout_ns = min(int(timeout_ns * costs.retransmit_backoff),
+                                 costs.retransmit_timeout_max_ns)
+            # NACK (corrupt response): resend immediately; the responder
+            # dedups the replayed seq.
+        obs.inc("via.nic.conn_lost")
+        trace.emit("via_conn_lost", nic=self.name, vi=vi.vi_id,
+                   seq=packet.seq, retries=self.max_retransmits)
+        return VIP_ERROR_CONN_LOST, 0
 
     def _fetch_rdma_read_reliable(self, vi: VirtualInterface,
                                   packet: Packet) -> tuple[str, bytes]:
@@ -664,6 +769,142 @@ class VIANic:
             if reliability != ReliabilityLevel.UNRELIABLE:
                 vi.enter_error()
             return VIP_ERROR_NIC, b""
+
+    def serve_atomic(self, packet: Packet,
+                     reliability: ReliabilityLevel) -> tuple[str, int]:
+        """Serve an inbound atomic request; returns ``(status,
+        original_value)``.
+
+        The idempotency guard lives here: a sequence number already
+        answered is served from the VI's bounded response cache without
+        touching memory — the retransmit path may replay an atomic whose
+        response was lost *after* the RMW executed, and re-executing it
+        would double-apply a FETCH_ADD or mis-judge a CMPSWAP.
+        """
+        self.check_faults()
+        vi = self.vis.get(packet.dst_vi)
+        if vi is None or vi.state != ViState.CONNECTED or \
+                vi.peer != (packet.src_nic, packet.src_vi):
+            return VIP_ERROR_CONN_LOST, 0
+        obs = self.kernel.obs
+        if reliability != ReliabilityLevel.UNRELIABLE and packet.seq:
+            cached = vi.atomic_responses.get(packet.seq)
+            if cached is not None:
+                self.duplicates_dropped += 1
+                self.atomic_replays += 1
+                obs.inc("via.atomic.replays")
+                self.kernel.trace.emit("via_atomic_replay", nic=self.name,
+                                       vi=vi.vi_id, seq=packet.seq)
+                return cached
+        response = self._serve_atomic_fresh(vi, packet, reliability)
+        if reliability != ReliabilityLevel.UNRELIABLE and packet.seq:
+            cache = vi.atomic_responses
+            cache[packet.seq] = response
+            if len(cache) > ATOMIC_RESPONSE_CACHE:
+                for seq in sorted(cache)[:len(cache)
+                                         - ATOMIC_RESPONSE_CACHE]:
+                    del cache[seq]
+        return response
+
+    def _atomic_word_resident(self, frame: int) -> bool:
+        """Is ``frame`` held resident on someone's behalf?
+
+        Pin-based backends (kiobuf, the paper's proposal) raise the
+        frame's ``pin_count``; the mlock-style backends instead keep the
+        page resident through a ``VM_LOCKED`` mapping, so the RMW unit
+        accepts either.  A word whose pins were annulled *and* whose
+        mapping lost ``VM_LOCKED`` (the §3.2 naive-munlock hazard) is
+        refused.
+        """
+        page = self.kernel.pagemap.page(frame)
+        if page.pin_count > 0:
+            return True
+        mapping = page.mapping
+        if mapping is None:
+            return False
+        pid, vpn = mapping
+        for task in self.kernel.tasks:
+            if task.pid == pid:
+                vma = task.vmas.find(vpn)
+                return vma is not None and bool(vma.flags & VM_LOCKED)
+        return False
+
+    def _serve_atomic_fresh(self, vi: VirtualInterface, packet: Packet,
+                            reliability: ReliabilityLevel
+                            ) -> tuple[str, int]:
+        """Validate, serialize, and execute one not-yet-seen atomic."""
+        assert packet.remote_handle is not None
+        assert packet.remote_va is not None
+        trace = self.kernel.trace
+        obs = self.kernel.obs
+
+        def reject(status: str, reason: str) -> tuple[str, int]:
+            self.atomic_rejects += 1
+            obs.inc("via.atomic.rejects")
+            trace.emit("via_atomic_reject", nic=self.name, vi=vi.vi_id,
+                       reason=reason, va=packet.remote_va, status=status)
+            if reliability != ReliabilityLevel.UNRELIABLE:
+                vi.enter_error()
+            return status, 0
+
+        if packet.remote_va % ATOMIC_OPERAND_BYTES:
+            return reject(VIP_INVALID_PARAMETER, "misaligned")
+        try:
+            segs = self.tpt.translate(
+                packet.remote_handle, packet.remote_va,
+                ATOMIC_OPERAND_BYTES, vi.prot_tag, rdma_atomic=True)
+        except (ProtectionError, NotRegistered) as exc:
+            self.protection_faults += 1
+            return reject(exc.status, "protection")
+        addr = segs[0][0]
+        # Residency check: unlike fire-and-forget DMA (which must stay
+        # "unhelpful", per the paper), an atomic is a round-trip verb
+        # served by the adapter's RMW unit, which refuses to operate on
+        # a word whose frame is no longer held resident for DMA.
+        frame, _offset = PhysicalMemory.split_phys(addr)
+        if not self._atomic_word_resident(frame):
+            return reject(VIP_INVALID_MEMORY, "unpinned")
+
+        # Per-word serialization via the sim clock: if another atomic's
+        # contention window on this word is still open, stall until it
+        # closes.
+        clock = self.kernel.clock
+        now = clock.now_ns
+        busy_until = self._atomic_busy.get(addr, 0)
+        if busy_until > now:
+            wait_ns = busy_until - now
+            clock.charge(wait_ns, "atomic_wait")
+            obs.inc("via.atomic.contended")
+            if obs.enabled:
+                obs.metrics.histogram("via.atomic.wait_ns").observe(
+                    wait_ns)
+
+        kind = packet.kind
+        compare, swap, add = packet.compare, packet.swap, packet.add
+
+        def rmw(old: int) -> int:
+            if kind == DescriptorType.ATOMIC_CMPSWAP:
+                assert compare is not None and swap is not None
+                return swap if old == compare else old
+            assert add is not None
+            return old + add
+
+        try:
+            original = self.dma.atomic_rmw(addr, rmw)
+        except DMAFault:
+            self.dma_faults += 1
+            trace.emit("via_dma_fault", nic=self.name, vi=vi.vi_id,
+                       side="atomic")
+            if reliability != ReliabilityLevel.UNRELIABLE:
+                vi.enter_error()
+            return VIP_ERROR_NIC, 0
+        self._atomic_busy[addr] = (
+            clock.now_ns + self.kernel.costs.atomic_contention_window_ns)
+        self.atomics_served += 1
+        if obs.enabled:
+            obs.metrics.counter("via.atomic.served").inc()
+            obs.metrics.counter(f"via.atomic.{kind.value}").inc()
+        return VIP_SUCCESS, original
 
 
 def _trim_segments(segments: list[tuple[int, int]],

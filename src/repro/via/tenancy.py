@@ -59,6 +59,11 @@ class TenantAccount:
     denied: int = 0
     degraded: int = 0            #: accepted, but only after shedding/backoff
     wait_ns: int = 0             #: total simulated time spent in backoff
+    #: a quota reload left usage above the new budget; live pins are
+    #: never revoked, so the flag stands until :meth:`~TenantService.credit`
+    #: drains usage back under the budget
+    over_budget: bool = False
+    quota_reloads: int = 0       #: :meth:`~TenantService.set_quota` calls
 
 
 class TenantService:
@@ -106,12 +111,47 @@ class TenantService:
             acct = self.accounts[uid] = TenantAccount(uid=uid)
         return acct
 
-    def set_quota(self, uid: int, pages: int | None) -> None:
-        """Set one tenant's pinned-page budget (None = back to the
-        service default)."""
+    def set_quota(self, uid: int, pages: int | None, *,
+                  shed: bool = False) -> int:
+        """Hot-reload one tenant's pinned-page budget (None = back to
+        the service default).
+
+        Safe at any point in the tenant's lifetime, including while its
+        usage exceeds the new budget: live registrations are never
+        revoked.  Instead the account is marked
+        :attr:`~TenantAccount.over_budget`, the next :meth:`admit`
+        enters the degrade ladder immediately (shed, reap, back off)
+        rather than fast-pathing, and :meth:`credit` clears the flag
+        once deregistrations drain usage back under the budget.  With
+        ``shed=True`` the tenant's unused regcache entries are shed
+        right now, toward the deficit.
+
+        Returns the remaining deficit in pages (0 = within budget).
+        """
         if pages is not None and pages < 0:
             raise ValueError(f"quota must be >= 0, got {pages}")
-        self.account(uid).quota_pages = pages
+        acct = self.account(uid)
+        acct.quota_pages = pages
+        acct.quota_reloads += 1
+        effective = self.quota_of(uid)
+        deficit = (0 if effective is None
+                   else max(0, acct.pinned_pages - effective))
+        freed = 0
+        if deficit and shed:
+            freed = self._shed_caches(deficit, uid=uid)
+            # Shedding deregisters through the normal credit() path, so
+            # the account is already up to date — recompute.
+            deficit = max(0, acct.pinned_pages - effective)
+        acct.over_budget = deficit > 0
+        self.kernel.trace.emit(
+            "quota_reload", uid=uid, quota_pages=effective,
+            pinned_pages=acct.pinned_pages, deficit_pages=deficit,
+            shed_pages=freed)
+        obs = self.kernel.obs
+        if obs.enabled:
+            obs.metrics.gauge(f"tenant.{uid}.over_budget").set(
+                int(acct.over_budget))
+        return deficit
 
     def quota_of(self, uid: int) -> int | None:
         """The effective budget for ``uid`` (None = unlimited)."""
@@ -281,6 +321,17 @@ class TenantService:
         acct.pinned_pages -= npages
         acct.registrations -= 1
         self.total_pinned_pages -= npages
+        if acct.over_budget:
+            quota = self.quota_of(acct.uid)
+            if quota is None or acct.pinned_pages <= quota:
+                acct.over_budget = False
+                self.kernel.trace.emit(
+                    "quota_recovered", uid=acct.uid,
+                    pinned_pages=acct.pinned_pages, quota_pages=quota)
+                obs = self.kernel.obs
+                if obs.enabled:
+                    obs.metrics.gauge(
+                        f"tenant.{acct.uid}.over_budget").set(0)
         self._publish_account(acct)
 
     # -------------------------------------------------------------- obs
@@ -326,6 +377,8 @@ class TenantService:
                     "denied": acct.denied,
                     "degraded": acct.degraded,
                     "wait_ns": acct.wait_ns,
+                    "over_budget": acct.over_budget,
+                    "quota_reloads": acct.quota_reloads,
                 }
                 for uid, acct in sorted(self.accounts.items())
             },

@@ -137,6 +137,7 @@ class MemoryRegion:
                                  #: registration time
     rdma_write_enable: bool = False
     rdma_read_enable: bool = False
+    rdma_atomic_enable: bool = False
     valid: bool = True
     #: opaque cookie the locking backend returned; owned by the Kernel
     #: Agent, carried here so deregistration can find it
@@ -221,7 +222,7 @@ class TranslationProtectionTable:
 
     def install(self, va_base: int, nbytes: int, prot_tag: int,
                 frames: list[int], rdma_write: bool = False,
-                rdma_read: bool = False,
+                rdma_read: bool = False, rdma_atomic: bool = False,
                 lock_cookie: object = None) -> MemoryRegion:
         """Install a region; returns it with a fresh handle."""
         if len(frames) == 0:
@@ -235,7 +236,7 @@ class TranslationProtectionTable:
             handle=next(_handles), va_base=va_base, nbytes=nbytes,
             prot_tag=prot_tag, frames=FrameList(frames),
             rdma_write_enable=rdma_write, rdma_read_enable=rdma_read,
-            lock_cookie=lock_cookie)
+            rdma_atomic_enable=rdma_atomic, lock_cookie=lock_cookie)
         self.regions[region.handle] = region
         self.entries_used += len(frames)
         events = self._events
@@ -310,8 +311,8 @@ class TranslationProtectionTable:
     # -- translation --------------------------------------------------------------
 
     def translate(self, handle: int, va: int, length: int, prot_tag: int,
-                  *, rdma_write: bool = False,
-                  rdma_read: bool = False) -> list[tuple[int, int]]:
+                  *, rdma_write: bool = False, rdma_read: bool = False,
+                  rdma_atomic: bool = False) -> list[tuple[int, int]]:
         """Translate ``[va, va+length)`` of a region into flat physical
         ``(addr, len)`` segments, enforcing protection.
 
@@ -341,6 +342,9 @@ class TranslationProtectionTable:
         if rdma_read and not region.rdma_read_enable:
             raise ProtectionError(
                 f"RDMA read not enabled on handle {handle}")
+        if rdma_atomic and not region.rdma_atomic_enable:
+            raise ProtectionError(
+                f"remote atomics not enabled on handle {handle}")
         if not region.covers(va, length):
             raise NotRegistered(
                 f"span [{va}, {va + length}) outside region "

@@ -39,11 +39,13 @@ class UserAgent:
     # ------------------------------------------------------- memory management
 
     def register_mem(self, va: int, nbytes: int, rdma_write: bool = False,
-                     rdma_read: bool = False) -> Registration:
+                     rdma_read: bool = False,
+                     rdma_atomic: bool = False) -> Registration:
         """``VipRegisterMem``: register (and pin) a buffer."""
         return self.agent.register_memory(self.task, va, nbytes,
                                           rdma_write=rdma_write,
-                                          rdma_read=rdma_read)
+                                          rdma_read=rdma_read,
+                                          rdma_atomic=rdma_atomic)
 
     def deregister_mem(self, reg: Registration | int) -> None:
         """``VipDeregisterMem``."""
@@ -166,6 +168,29 @@ class UserAgent:
         va = reg.va + offset
         self.task.write(va, data)
         desc = Descriptor.send([DataSegment(reg.handle, va, len(data))])
+        self.post_send(vi, desc)
+        return desc
+
+    def atomic_cmpswap(self, vi: VirtualInterface, reg: Registration,
+                       remote_handle: int, remote_va: int, compare: int,
+                       swap: int, local_offset: int = 0) -> Descriptor:
+        """Post a remote compare-and-swap and return the completed
+        descriptor; the original value is in ``atomic_original_value``
+        (and in the local 8-byte landing at ``reg.va + local_offset``)."""
+        seg = DataSegment(reg.handle, reg.va + local_offset, 8)
+        desc = Descriptor.atomic_cmpswap([seg], remote_handle, remote_va,
+                                         compare, swap)
+        self.post_send(vi, desc)
+        return desc
+
+    def atomic_fetchadd(self, vi: VirtualInterface, reg: Registration,
+                        remote_handle: int, remote_va: int, add: int,
+                        local_offset: int = 0) -> Descriptor:
+        """Post a remote fetch-and-add and return the completed
+        descriptor (see :meth:`atomic_cmpswap`)."""
+        seg = DataSegment(reg.handle, reg.va + local_offset, 8)
+        desc = Descriptor.atomic_fetchadd([seg], remote_handle, remote_va,
+                                          add)
         self.post_send(vi, desc)
         return desc
 

@@ -78,6 +78,14 @@ class VirtualInterface:
     tx_seq: int = 0
     rx_seq: int = 0
 
+    #: responder-side atomic dedup cache: seq → (status, original value).
+    #: A retransmitted atomic (its response was lost) is answered from
+    #: here instead of re-executing the RMW — atomics must be
+    #: idempotent-guarded, not blindly replayed.  Bounded by
+    #: :data:`~repro.via.constants.ATOMIC_RESPONSE_CACHE`.
+    atomic_responses: dict[int, tuple[str, int]] = field(
+        default_factory=dict)
+
     def __post_init__(self) -> None:
         if self.send_doorbell is None:
             self.send_doorbell = Doorbell(self.vi_id, "send", self.owner_pid)
@@ -126,7 +134,9 @@ class VirtualInterface:
         """Route a finished send descriptor to its CQ or local done list."""
         from repro.via.cq import Completion
         if self.send_cq is not None:
-            self.send_cq.post(Completion(self.vi_id, "send", desc))
+            self.send_cq.post(Completion(
+                self.vi_id, "send", desc,
+                atomic_original_value=desc.atomic_original_value))
         else:
             self.send_done.append(desc)
 
@@ -134,6 +144,8 @@ class VirtualInterface:
         """Route a finished receive descriptor likewise."""
         from repro.via.cq import Completion
         if self.recv_cq is not None:
-            self.recv_cq.post(Completion(self.vi_id, "recv", desc))
+            self.recv_cq.post(Completion(
+                self.vi_id, "recv", desc,
+                atomic_original_value=desc.atomic_original_value))
         else:
             self.recv_done.append(desc)

@@ -1,6 +1,11 @@
-"""Workload generators: memory hogs and message-traffic patterns."""
+"""Workload generators: memory hogs, message-traffic patterns, churn
+soaks, and the distributed lock manager."""
 
 from repro.workloads.allocator import MemoryHog, apply_memory_pressure
+from repro.workloads.dlm import (
+    DESIGNS, DLMConfig, DLMHarness, DLMReport, LockClient, LockOracle,
+    run_dlm,
+)
 from repro.workloads.patterns import (
     buffer_reuse_trace, size_sweep, SweepPoint,
 )
@@ -9,4 +14,6 @@ from repro.workloads.soak import SoakConfig, SoakReport, run_soak
 __all__ = [
     "MemoryHog", "apply_memory_pressure", "buffer_reuse_trace",
     "size_sweep", "SweepPoint", "SoakConfig", "SoakReport", "run_soak",
+    "DESIGNS", "DLMConfig", "DLMHarness", "DLMReport", "LockClient",
+    "LockOracle", "run_dlm",
 ]

@@ -9,8 +9,9 @@ import pytest
 pytestmark = pytest.mark.san_suppress
 
 from repro.analysis.events import (
-    DEREGISTER, DMA_BEGIN, DMA_END, PIN, REGISTER, SWAP_OUT, TASK_EXIT,
-    TPT_INVALIDATE, TPT_TRANSLATE, UNPIN, EventHub, MUNLOCK, SanEvent,
+    ATOMIC_RMW, DEREGISTER, DMA_BEGIN, DMA_END, PIN, REGISTER, SWAP_OUT,
+    TASK_EXIT, TPT_INVALIDATE, TPT_TRANSLATE, UNPIN, EventHub, MUNLOCK,
+    SanEvent,
 )
 from repro.analysis.sanitizer import CHECKS, MLOCK_BACKENDS, PinSanitizer
 from repro.core.locktest import LocktestExperiment
@@ -19,7 +20,8 @@ from repro.hw.physmem import PAGE_SIZE
 from repro.kernel.kiobuf import map_user_kiobuf, unmap_kiobuf
 from repro.msg.endpoint import make_pair
 from repro.msg.mpi_like import MpiPair
-from repro.via.machine import Cluster, Machine
+from repro.via.descriptor import DataSegment, Descriptor
+from repro.via.machine import Cluster, Machine, connected_pair
 from repro.workloads.allocator import MemoryHog
 
 
@@ -442,10 +444,88 @@ class TestObsBridge:
         san.disarm()
 
 
+class TestAtomicNonatomicOverlap:
+    """A word the adapter serves remote atomics on must never be hit by
+    a plain (non-atomic) DMA write while its registration lives."""
+
+    def test_plain_write_over_atomic_word(self):
+        san = PinSanitizer()
+        san.feed([
+            reg_event(frames=(3,), npages=1),
+            (ATOMIC_RMW, dict(frame=3, offset=64)),
+            (DMA_BEGIN, dict(frames=(3,), op="write",
+                             spans=[(3, 0, 128)])),
+        ])
+        v = only(san, "atomic-nonatomic-overlap")
+        assert "word 64" in v.message and "tear" in v.message
+
+    def test_atomic_inside_open_write_window(self):
+        san = PinSanitizer()
+        san.feed([
+            reg_event(frames=(3,), npages=1),
+            (DMA_BEGIN, dict(frames=(3,), op="write_scatter",
+                             spans=[(3, 0, 72)])),
+            (ATOMIC_RMW, dict(frame=3, offset=64)),
+        ])
+        only(san, "atomic-nonatomic-overlap")
+
+    def test_disjoint_write_and_closed_window_are_clean(self):
+        san = PinSanitizer()
+        san.feed([
+            reg_event(frames=(3,), npages=1),
+            (ATOMIC_RMW, dict(frame=3, offset=64)),
+            # byte-disjoint plain write: [0, 64) never touches word 64
+            (DMA_BEGIN, dict(frames=(3,), op="write",
+                             spans=[(3, 0, 64)])),
+            (DMA_END, dict(frames=(3,), op="write",
+                           spans=[(3, 0, 64)])),
+            # a *read* over the word is fine — only writes can tear
+            (DMA_BEGIN, dict(frames=(3,), op="read",
+                             spans=[(3, 0, 128)])),
+            # window above closed before this RMW, so no overlap either
+            (ATOMIC_RMW, dict(frame=3, offset=0)),
+        ])
+        assert san.violations == []
+
+    def test_deregistration_clears_the_word_history(self):
+        san = PinSanitizer()
+        san.feed([
+            reg_event(handle=1, frames=(3,), npages=1),
+            (ATOMIC_RMW, dict(frame=3, offset=64)),
+            (DEREGISTER, dict(handle=1, pid=10)),
+            # frame recycled: plain writes are legitimate again
+            (DMA_BEGIN, dict(frames=(3,), op="write",
+                             spans=[(3, 0, 128)])),
+        ])
+        assert [v.check for v in san.violations] == []
+
+    def test_runtime_rdma_write_over_atomic_word(self):
+        cluster, ua_s, ua_r, vi_s, vi_r = connected_pair("kiobuf")
+        san = cluster.arm_sanitizer(strict=True)
+        rva = ua_r.task.mmap(1)
+        ua_r.task.touch_pages(rva, 1)
+        rreg = ua_r.register_mem(rva, PAGE_SIZE, rdma_write=True,
+                                 rdma_atomic=True)
+        lva = ua_s.task.mmap(1)
+        lreg = ua_s.register_mem(lva, PAGE_SIZE)
+        ua_s.atomic_fetchadd(vi_s, lreg, rreg.handle, rva, 1)
+        with san.expect("atomic-nonatomic-overlap") as got:
+            desc = Descriptor.rdma_write(
+                [DataSegment(lreg.handle, lva, 16)], rreg.handle, rva)
+            ua_s.post_send(vi_s, desc)
+        assert [v.check for v in got] == ["atomic-nonatomic-overlap"]
+        # a plain write elsewhere in the region stays clean
+        desc = Descriptor.rdma_write(
+            [DataSegment(lreg.handle, lva, 16)], rreg.handle, rva + 256)
+        ua_s.post_send(vi_s, desc)
+        assert sum(san.counts.values()) == 0
+        san.disarm()
+
+
 def test_check_catalog_is_exact():
     """The catalog the docs/metrics promise, in order."""
     assert CHECKS == (
         "dma-unpinned-frame", "dma-swapped-frame", "mlock-nesting",
         "pin-underflow", "tpt-use-after-invalidate", "registration-leak",
-        "swap-registered", "quota-breach")
+        "swap-registered", "quota-breach", "atomic-nonatomic-overlap")
     assert MLOCK_BACKENDS == {"mlock", "mlock_naive"}

@@ -189,6 +189,96 @@ class TestDegradeLadder:
         assert m.kernel.clock.now_ns > before_ns
 
 
+class TestQuotaHotReload:
+    def test_lowering_below_usage_marks_over_budget(self):
+        m = Machine(backend="kiobuf")
+        m.obs.enable()
+        task = m.spawn("app", uid=1001)
+        ua, _va, reg = _register(m, task, 6)
+        deficit = m.tenants.set_quota(1001, 4)
+        assert deficit == 2
+        acct = m.tenants.account(1001)
+        assert acct.over_budget is True
+        assert acct.quota_reloads == 1
+        assert m.obs.metrics.gauge("tenant.1001.over_budget").value == 1
+        # live registrations were not revoked
+        assert acct.pinned_pages == 6
+        # the next admission hits the ladder and denies, typed
+        with pytest.raises(QuotaExceeded):
+            _register(m, task, 2, ua=ua)
+        # draining under budget clears the flag through credit()
+        ua.deregister_mem(reg)
+        assert acct.over_budget is False
+        assert acct.pinned_pages == 0
+        assert m.obs.metrics.gauge("tenant.1001.over_budget").value == 0
+        assert m.kernel.trace.count("quota_reload") == 1
+        assert m.kernel.trace.count("quota_recovered") == 1
+        assert audit_tenant_accounting(m.agent) == []
+
+    def test_raising_the_quota_clears_the_deficit(self):
+        m = Machine(backend="kiobuf")
+        task = m.spawn("app", uid=1001)
+        _register(m, task, 6)
+        assert m.tenants.set_quota(1001, 4) == 2
+        assert m.tenants.set_quota(1001, 8) == 0
+        acct = m.tenants.account(1001)
+        assert acct.over_budget is False
+        assert acct.quota_reloads == 2
+        # back to the service default (here: unlimited)
+        assert m.tenants.set_quota(1001, None) == 0
+        assert m.tenants.quota_of(1001) is None
+
+    def test_shed_true_reclaims_cached_pages_immediately(self):
+        from repro.core.regcache import RegistrationCache
+        m = Machine(backend="kiobuf")
+        task = m.spawn("app", uid=1001)
+        m.user_agent(task)
+        cache = RegistrationCache(m.agent, task)
+        va = task.mmap(6)
+        task.touch_pages(va, 6)
+        cache.acquire(va, 6 * PAGE_SIZE)
+        cache.release(va, 6 * PAGE_SIZE)   # cached, unused: sheddable
+        deficit = m.tenants.set_quota(1001, 2, shed=True)
+        assert deficit == 0
+        assert cache.stats.evictions == 1
+        acct = m.tenants.account(1001)
+        assert acct.over_budget is False
+        assert acct.pinned_pages == 0
+        assert audit_tenant_accounting(m.agent) == []
+
+    def test_reload_under_churn_stays_consistent(self):
+        """Flip the quota while registrations come and go; accounting
+        and the flag must converge every time."""
+        m = Machine(backend="kiobuf")
+        task = m.spawn("app", uid=1001)
+        ua = m.user_agent(task)
+        live = []
+        for round_no in range(6):
+            quota = 4 if round_no % 2 else 12
+            m.tenants.set_quota(1001, quota)
+            acct = m.tenants.account(1001)
+            assert acct.over_budget == (acct.pinned_pages > quota)
+            try:
+                _ua, _va, reg = _register(m, task, 3, ua=ua)
+                live.append(reg)
+            except QuotaExceeded:
+                pass
+            if len(live) > 2:
+                ua.deregister_mem(live.pop(0))
+            assert audit_tenant_accounting(m.agent) == []
+        for reg in live:
+            ua.deregister_mem(reg)
+        acct = m.tenants.account(1001)
+        assert acct.pinned_pages == 0
+        assert acct.over_budget is False
+        assert acct.quota_reloads == 6
+
+    def test_negative_quota_rejected(self):
+        m = Machine(backend="kiobuf")
+        with pytest.raises(ValueError, match=">= 0"):
+            m.tenants.set_quota(1001, -1)
+
+
 class TestObservability:
     def test_gauges_and_counters_published(self):
         m = Machine(backend="kiobuf", tenant_quota_pages=4)
