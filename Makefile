@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize soak bench bench-e18 bench-e19 bench-quick tables examples all clean
+.PHONY: install test lint sanitize soak bench bench-e18 bench-e19 bench-e20 bench-quick tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -43,6 +43,13 @@ bench-e18:
 bench-e19:
 	$(PY) benchmarks/report.py -o BENCH_E19.json \
 		benchmarks/bench_e19_dlm.py
+
+# The E20 pin-at-register vs pin-on-fault (ODP) pressure sweep:
+# registration latency, first-touch DMA latency, fault-service counts,
+# resident-pin footprint; numbers land in BENCH_E20.json.
+bench-e20:
+	$(PY) benchmarks/report.py -o BENCH_E20.json \
+		benchmarks/bench_e20_odp.py
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

@@ -107,8 +107,11 @@ def run_arm(events: bool) -> dict:
     reapers = [OrphanReaper(m.kernel, agents=[m.agent],
                             interval_ns=REAPER_NS)
                for m in cluster.machines]
+    # The reaper is calendar-only now (its legacy subscriber arm was
+    # retired); the A/B legacy arm still varies the watchdog cadence,
+    # full-scan audits, and one-at-a-time posting.
     for reaper in reapers:
-        reaper.start(use_events=events)
+        reaper.start()
     watchdog = cluster.arm_watchdog(interval_ns=WATCHDOG_NS,
                                     use_events=events,
                                     full_scan=not events)

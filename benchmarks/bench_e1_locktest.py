@@ -5,7 +5,8 @@ pages relocated, DMA visibility, orphaned frames, stale TPT entries.
 
 Expected shape (paper): refcount → all pages relocate, DMA write lands
 in an orphaned frame ("the first page still contained its original
-value"); pageflags / mlock / kiobuf → fully stable.
+value"); pageflags / mlock / kiobuf → fully stable; odp → survives by
+repair (pages may move while evicted, the NIC re-translates at use).
 """
 
 import pytest
@@ -42,7 +43,7 @@ def test_e1_survival_matrix(matrix, report):
     assert not by_name["refcount"].registration_survived
     assert by_name["refcount"].pages_relocated == BUFFER_PAGES
     assert by_name["refcount"].orphan_frames_after == 0
-    for name in ("pageflags", "mlock", "mlock_naive", "kiobuf"):
+    for name in ("pageflags", "mlock", "mlock_naive", "kiobuf", "odp"):
         assert by_name[name].registration_survived
 
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """The paper's Section 3.1 experiment, live.
 
-Runs the 8-step locktest against all five locking backends and prints
-the survival matrix: the refcount-only approach (Berkeley-VIA/M-VIA)
-loses every page under memory pressure — its registered physical
-addresses go stale and the simulated NIC DMA writes into orphaned frames
-the process can never see — while the VMA-, pageflag-, and kiobuf-based
-mechanisms keep every translation valid.
+Runs the 8-step locktest against every registered locking backend and
+prints the survival matrix: the refcount-only approach
+(Berkeley-VIA/M-VIA) loses every page under memory pressure — its
+registered physical addresses go stale and the simulated NIC DMA writes
+into orphaned frames the process can never see — while the VMA-,
+pageflag-, and kiobuf-based mechanisms keep every translation valid,
+and the on-demand-paging backend survives by *repair*: its pages may
+move while evicted, but the NIC re-translates at DMA time.
 
 Run:  python examples/locktest_swapping.py
 """

@@ -45,12 +45,25 @@ DEREGISTER = "deregister"          #: driver deregistration (handle, pid)
 TASK_EXIT = "task_exit"            #: process gone (pid, cleanup)
 ATOMIC_RMW = "atomic_rmw"          #: remote atomic RMW on one 8-byte word
                                    #: (frame, offset, op, engine)
+DMA_SUSPEND = "dma_suspend"        #: NIC parked a transfer on a translation
+                                   #: fault (handle, pages, token)
+DMA_RESUME = "dma_resume"          #: suspended transfer resumed (token, ok)
+FAULT_SERVICE = "fault_service"    #: agent faulted+pinned ODP pages just in
+                                   #: time (handle, pages, frames, coalesced)
+ODP_EVICT = "odp_evict"            #: pressure unpinned an ODP-resident frame
+                                   #: and invalidated its TPT pages
+                                   #: (handle, frame, page)
+TPT_PAGE_INVALIDATE = "tpt_page_invalidate"
+                                   #: individual ODP entries went invalid
+                                   #: (handle, pages) — the region itself
+                                   #: stays registered, unlike TPT_INVALIDATE
 
 #: Every kind the instrumented layers emit.
 EVENT_KINDS: tuple[str, ...] = (
     PIN, UNPIN, MLOCK, MUNLOCK, DMA_BEGIN, DMA_END, SWAP_OUT, SWAP_IN,
     TPT_INSERT, TPT_INVALIDATE, TPT_TRANSLATE, MUNMAP, REGISTER,
-    DEREGISTER, TASK_EXIT, ATOMIC_RMW,
+    DEREGISTER, TASK_EXIT, ATOMIC_RMW, DMA_SUSPEND, DMA_RESUME,
+    FAULT_SERVICE, ODP_EVICT, TPT_PAGE_INVALIDATE,
 )
 
 _hub_ids = itertools.count(0)

@@ -37,6 +37,25 @@ paper's locking mechanisms exist to guarantee.  The violation catalog:
     adapter RMWs* — a plain RDMA/DMA write to the same word is a data
     race that can tear a compare-and-swap, so the two access classes
     must never mix on one word while its registration is live.
+``odp-dangling-suspension``
+    a DMA suspension was never repaired: either the NIC resumed a
+    parked transfer as OK without any fault-service event for its
+    token, or a suspension was still open when the sanitizer
+    disarmed.  Suspending on a translation fault is only safe because
+    the agent is guaranteed to fault, pin, and patch before the
+    resume — a resume with no service replays the transfer through a
+    still-invalid translation.
+
+The ``odp`` mode (on by default) understands the on-demand-paging
+backend's *sanctioned* transitions: ``FAULT_SERVICE`` frames join a
+registration's tracked set and ``ODP_EVICT`` removes them again, so a
+pressure eviction followed by swap-out of the (now unpinned,
+invalidated) frame is not misread as ``swap-registered`` or
+``dma-swapped-frame``.  Per-page ``TPT_PAGE_INVALIDATE`` never marks a
+handle dead — the region stays registered, unlike ``TPT_INVALIDATE`` —
+so a later fault-service and translate through the same handle is not
+``tpt-use-after-invalidate``.  What stays a violation is the dangling
+suspension above: the repair must actually happen.
 
 Each violation carries a happens-before trail: the recent events that
 share a frame, pid, or handle with the trigger, in emission order.
@@ -80,6 +99,7 @@ CHECKS: tuple[str, ...] = (
     "swap-registered",
     "quota-breach",
     "atomic-nonatomic-overlap",
+    "odp-dangling-suspension",
 )
 
 #: DMA window ops that are plain (non-atomic) writes to memory, for the
@@ -135,11 +155,12 @@ class _Expectation:
 class PinSanitizer:
     """Event-stream checker for the pin-safety violation catalog."""
 
-    def __init__(self, *, strict: bool = False,
+    def __init__(self, *, strict: bool = False, odp: bool = True,
                  suppress: Iterable[str] = (),
                  trail_maxlen: int = 256,
                  trail_report: int = 32) -> None:
         self.strict = strict
+        self.odp = odp
         self.suppressed: set[str] = set()
         for check in suppress:
             self.suppress(check)
@@ -183,6 +204,10 @@ class PinSanitizer:
         #: open plain-write DMA spans as (offset, nbytes), per
         #: (scope, frame)
         self._write_spans: dict[tuple[Any, int], list[tuple[int, int]]] = {}
+        #: open DMA suspensions by (scope, token) → the suspend event
+        self._suspensions: dict[tuple[Any, int], SanEvent] = {}
+        #: suspension tokens a FAULT_SERVICE has answered
+        self._serviced: set[tuple[Any, int]] = set()
         self._handlers: dict[str, Callable[[SanEvent, Any], None]] = {
             ev.PIN: self._on_pin,
             ev.UNPIN: self._on_unpin,
@@ -197,6 +222,16 @@ class PinSanitizer:
             ev.DEREGISTER: self._on_deregister,
             ev.TASK_EXIT: self._on_task_exit,
         }
+        if self.odp:
+            # TPT_PAGE_INVALIDATE is deliberately absent: a per-page
+            # invalidation leaves the region registered, so it must not
+            # feed the tpt-use-after-invalidate handle graveyard.
+            self._handlers.update({
+                ev.DMA_SUSPEND: self._on_dma_suspend,
+                ev.DMA_RESUME: self._on_dma_resume,
+                ev.FAULT_SERVICE: self._on_fault_service,
+                ev.ODP_EVICT: self._on_odp_evict,
+            })
 
     # ------------------------------------------------------------ suppression
 
@@ -262,9 +297,11 @@ class PinSanitizer:
         for agent in agents:
             for reg in agent.registrations.values():
                 uid = reg.uid if reg.uid >= 0 else None
+                # ODP regions hold the INVALID_FRAME (-1) sentinel for
+                # pages not yet faulted in; only real frames are tracked.
                 self._track_registration(
                     scope, handle=reg.handle, pid=reg.pid,
-                    frames=tuple(reg.region.frames),
+                    frames=tuple(f for f in reg.region.frames if f >= 0),
                     backend=reg.backend_name,
                     first_vpn=reg.region.first_vpn,
                     end_vpn=reg.region.first_vpn + reg.region.npages,
@@ -276,7 +313,11 @@ class PinSanitizer:
         self._attach_collector(kernel.obs)
 
     def disarm(self) -> None:
-        """Unsubscribe from every armed hub and detach collectors."""
+        """Unsubscribe from every armed hub and detach collectors.
+
+        In ``odp`` mode any suspension still open now is a dangling
+        suspension — a transfer the NIC parked and nobody ever fixed
+        up — and is reported before the checker lets go."""
         for unsubscribe in self._unsubscribes:
             unsubscribe()
         self._unsubscribes.clear()
@@ -284,6 +325,15 @@ class PinSanitizer:
             obs.remove_collector(collector)
         self._collectors.clear()
         self.armed = False
+        dangling, self._suspensions = self._suspensions, {}
+        self._serviced.clear()
+        for (scope, token), suspend in dangling.items():
+            self._report(
+                "odp-dangling-suspension", suspend, scope,
+                f"DMA suspension token {token} on handle "
+                f"{suspend['handle']} still open at disarm — the parked "
+                f"transfer was never resumed",
+                handle=suspend["handle"])
 
     # ------------------------------------------------------------- obs bridge
 
@@ -615,3 +665,65 @@ class PinSanitizer:
                 pid=pid, handle=handles[0])
         for handle in handles:
             self._untrack_registration(scope, handle)
+
+    # -- ODP mode ------------------------------------------------------------
+
+    def _on_dma_suspend(self, event: SanEvent, scope: Any) -> None:
+        self._suspensions[(scope, event["token"])] = event
+
+    def _on_fault_service(self, event: SanEvent, scope: Any) -> None:
+        token = event.get("token")
+        if token is not None:
+            self._serviced.add((scope, token))
+        reg = self._regs.get((scope, event["handle"]))
+        if reg is None:
+            return   # registered before arming; nothing tracked
+        handle = reg.handle
+        for frame in event["frames"]:
+            owners = self._reg_frames.setdefault((scope, frame), set())
+            if handle in owners:
+                continue       # coalesced / already-resident page
+            owners.add(handle)
+            reg.frames = reg.frames + (frame,)
+            if reg.uid is not None:
+                key = (scope, reg.uid)
+                self._uid_pages[key] = self._uid_pages.get(key, 0) + 1
+
+    def _on_dma_resume(self, event: SanEvent, scope: Any) -> None:
+        token = event["token"]
+        key = (scope, token)
+        suspend = self._suspensions.pop(key, None)
+        serviced = key in self._serviced
+        self._serviced.discard(key)
+        if not event["ok"]:
+            return   # error unwind: the transfer completes in error
+        if suspend is not None and not serviced:
+            self._report(
+                "odp-dangling-suspension", event, scope,
+                f"suspended DMA (token {token}, handle {event['handle']})"
+                f" resumed OK without a fault-service event — the "
+                f"transfer would replay through a still-invalid "
+                f"translation",
+                handle=event["handle"])
+
+    def _on_odp_evict(self, event: SanEvent, scope: Any) -> None:
+        handle, frame = event["handle"], event["frame"]
+        key = (scope, frame)
+        owners = self._reg_frames.get(key)
+        if owners is not None:
+            owners.discard(handle)
+            if not owners:
+                del self._reg_frames[key]
+                self._atomic_words.pop(key, None)
+        reg = self._regs.get((scope, handle))
+        if reg is None or frame not in reg.frames:
+            return
+        dropped = reg.frames.count(frame)
+        reg.frames = tuple(f for f in reg.frames if f != frame)
+        if reg.uid is not None:
+            ukey = (scope, reg.uid)
+            remaining = self._uid_pages.get(ukey, 0) - dropped
+            if remaining > 0:
+                self._uid_pages[ukey] = remaining
+            else:
+                self._uid_pages.pop(ukey, None)

@@ -18,6 +18,7 @@ from repro.errors import (
     InvalidArgument, InvariantViolation, PageAccountingError,
 )
 from repro.hw.physmem import PAGE_SIZE
+from repro.via.tpt import INVALID_FRAME
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -55,6 +56,11 @@ def audit_tpt_consistency(agent: "KernelAgent") -> list[StaleEntry]:
             continue
         first_vpn = reg.region.first_vpn
         for i, tpt_frame in enumerate(reg.region.frames):
+            if reg.region.odp and tpt_frame == INVALID_FRAME:
+                # Not-yet-translated ODP entry: the NIC suspends and
+                # fault-services instead of DMAing through it, so it
+                # cannot be stale — there is nothing to be stale *from*.
+                continue
             vpn = first_vpn + i
             pte = task.page_table.lookup(vpn)
             actual = pte.frame if (pte is not None and pte.present) else None

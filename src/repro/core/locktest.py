@@ -65,12 +65,22 @@ class LocktestResult:
     register_ns: int
     #: simulated time of deregistration (step 7), ns
     deregister_ns: int
+    #: the backend registers on-demand-paging regions (no pins at
+    #: registration; translations repaired at DMA time)
+    odp: bool = False
     notes: list[str] = field(default_factory=list)
 
     @property
     def registration_survived(self) -> bool:
         """The paper's pass criterion: no page moved and the DMA write
-        landed where the process can see it."""
+        landed where the process can see it.
+
+        ODP promises repair, not immobility: its pages *may* relocate
+        while evicted, but every DMA translates (and fault-services)
+        at use, so the criterion is that the DMA write is visible and
+        no translation was stale when the NIC used it."""
+        if self.odp:
+            return self.dma_write_visible and self.stale_tpt_entries == 0
         return self.pages_relocated == 0 and self.dma_write_visible
 
 
@@ -113,6 +123,14 @@ class LocktestExperiment:
         # -- step 2: register (store the physical addresses) ----------------
         with kernel.clock.measure() as reg_span:
             reg = ua.register_mem(va, self.buffer_pages * PAGE_SIZE)
+        if reg.region.odp:
+            # ODP stores *no* addresses at registration — they are
+            # acquired on first DMA touch.  Simulate that first touch so
+            # the step-6 comparison has a baseline to compare against.
+            m.agent.service_translation_fault(
+                reg.handle, tuple(range(self.buffer_pages)))
+            notes.append("odp: frames acquired by first-touch "
+                         "fault service, not at registration")
         frames_registered = list(reg.region.frames)
         assert frames_registered == frames_initial
 
@@ -140,7 +158,17 @@ class LocktestExperiment:
                            f"page-{i:04d}-rewrite".encode())
 
         # -- step 5: simulated NIC DMA via the registered address ------------
-        phys_addr = frames_registered[0] * PAGE_SIZE + 2048
+        if reg.region.odp:
+            # The ODP NIC never DMAs through a stored address: it
+            # translates at DMA time, fault-servicing any entries the
+            # reclaim pressure invalidated.
+            invalid = reg.region.invalid_pages(
+                va, self.buffer_pages * PAGE_SIZE)
+            if invalid:
+                m.agent.service_translation_fault(reg.handle, invalid)
+            phys_addr = reg.region.frames[0] * PAGE_SIZE + 2048
+        else:
+            phys_addr = frames_registered[0] * PAGE_SIZE + 2048
         m.nic.dma.write(phys_addr, DMA_STAMP)
 
         # -- step 6: compare physical addresses -------------------------------
@@ -179,6 +207,7 @@ class LocktestExperiment:
             stale_tpt_entries=len(stale),
             register_ns=reg_span.elapsed_ns,
             deregister_ns=dereg_span.elapsed_ns,
+            odp=reg.region.odp,
             notes=notes,
         )
 

@@ -162,6 +162,28 @@ class NotRegistered(ViaError):
         super().__init__(message, status="VIP_INVALID_MEMORY")
 
 
+class TranslationFault(ViaError):
+    """A TPT lookup hit an ODP region whose pages are not yet resident.
+
+    This is the NIC-internal signal of the on-demand-paging design: the
+    region *is* registered and the protection checks all passed, but one
+    or more entries still carry the invalid sentinel because no frame has
+    been pinned behind them yet (or pressure evicted them).  The NIC
+    catches this, suspends the transfer, and asks the kernel agent to
+    fault the pages in; it must never escape to the VIPL API.
+
+    ``pages`` are the region-relative page indices that need service.
+    """
+
+    def __init__(self, message: str, handle: int = -1, va: int = 0,
+                 length: int = 0, pages: tuple[int, ...] = ()):
+        super().__init__(message, status="VIP_ERROR_NOT_RESIDENT")
+        self.handle = handle
+        self.va = va
+        self.length = length
+        self.pages = pages
+
+
 class DescriptorError(ViaError):
     """A malformed descriptor was posted."""
 

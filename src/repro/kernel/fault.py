@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.analysis.events import SWAP_IN
-from repro.errors import SegmentationFault
+from repro.errors import PageAccountingError, SegmentationFault
 from repro.kernel.flags import VM_WRITE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,6 +98,30 @@ def _swap_in(kernel: "Kernel", task: "Task", vpn: int, slot: int,
     return pd.frame
 
 
+def _drop_cow_share(kernel: "Kernel", task: "Task", vpn: int,
+                    pd) -> None:
+    """Decrement a frame's COW sharer count, refusing to underflow.
+
+    A COW break on a frame whose sharer count is already zero means the
+    fork/munmap/exit accounting lost a decrement somewhere — the kind of
+    silent corruption the ODP eviction path (which trusts ``cow_shares``
+    to decide stealability) would turn into a stale DMA.  Clamping hid
+    it; now it always leaves a trace, and under strict accounting it is
+    fatal.
+    """
+    if pd.cow_shares <= 0:
+        kernel.trace.emit("cow_underflow", pid=task.pid, vpn=vpn,
+                          frame=pd.frame, cow_shares=pd.cow_shares)
+        kernel.obs.inc("kernel.fault.cow_underflows")
+        if kernel.strict_accounting:
+            raise PageAccountingError(
+                f"COW sharer-count underflow on frame {pd.frame} "
+                f"(pid {task.pid}, vpn {vpn}): breaking COW with "
+                f"cow_shares={pd.cow_shares}")
+        return
+    pd.cow_shares -= 1
+
+
 def _break_cow(kernel: "Kernel", task: "Task", vpn: int) -> int:
     """Copy-on-write break: give the faulting task a private copy."""
     pte = task.page_table.lookup(vpn)
@@ -107,13 +131,13 @@ def _break_cow(kernel: "Kernel", task: "Task", vpn: int) -> int:
         # Last sharer: simply regain write access in place.
         pte.writable = True
         pte.cow = False
-        old.cow_shares = max(0, old.cow_shares - 1)
+        _drop_cow_share(kernel, task, vpn, old)
         kernel.trace.emit("cow_reuse", pid=task.pid, vpn=vpn,
                           frame=old.frame)
         return old.frame
     new = kernel.alloc_frame(tag=f"anon:{task.pid}")
     kernel.phys.copy_frame(old.frame, new.frame)
-    old.cow_shares = max(0, old.cow_shares - 1)
+    _drop_cow_share(kernel, task, vpn, old)
     kernel.pagemap.put_page(old.frame)
     new.mapping = (task.pid, vpn)
     task.page_table.set_mapping(vpn, new.frame, writable=True, dirty=True)

@@ -10,7 +10,9 @@ pages to be swapped out".
 
 from __future__ import annotations
 
-from repro.analysis.events import MUNMAP, TASK_EXIT, EventHub
+import os
+
+from repro.analysis.events import MUNMAP, PIN, TASK_EXIT, UNPIN, EventHub
 from repro.errors import InvalidArgument, OutOfMemory, SegmentationFault
 from repro.hw.dma import DMAEngine
 from repro.hw.physmem import PAGE_SIZE, PhysicalMemory
@@ -48,8 +50,16 @@ class Kernel:
                  trace_maxlen: int = 65536,
                  clock: SimClock | None = None,
                  trace: Trace | None = None,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 strict_accounting: bool | None = None) -> None:
         self.costs = costs if costs is not None else CostModel()
+        #: raise on internal accounting anomalies (COW sharer-count
+        #: underflow ...) instead of clamping them silently; defaults to
+        #: on whenever the suite runs with the sanitizer strict, so the
+        #: chaos jobs catch what a clamp would hide
+        self.strict_accounting = (
+            strict_accounting if strict_accounting is not None
+            else os.environ.get("REPRO_SANITIZE", "") == "strict")
         # A clock/trace/obs may be shared across several machines (a
         # cluster measures end-to-end latency on one timeline and rolls
         # its metrics into one snapshot).
@@ -91,6 +101,11 @@ class Kernel:
         #: drivers register here to learn of munmaps before the PTEs and
         #: frames go away; called with (task, start_vpn, end_vpn)
         self.munmap_hooks: list = []
+        #: pin-owner eviction hooks: ``swap_out`` consults these before
+        #: skipping a pinned frame — a hook that recognises the frame may
+        #: release its pins (ODP-style TPT invalidation) and return True,
+        #: making the frame stealable after all; called with (frame)
+        self.pin_eviction_hooks: list = []
         #: the orphan reaper, once attached (see repro.kernel.reaper);
         #: try_to_free_pages drafts it when ordinary reclaim falls short
         self.reaper = None
@@ -376,6 +391,39 @@ class Kernel:
     def unmap_kiobuf(self, kio: Kiobuf) -> None:
         """Unmap a kiobuf."""
         unmap_kiobuf(self, kio)
+
+    # ----------------------------------------------- get/pin_user_pages
+
+    def pin_user_page(self, task: Task, vpn: int, write: bool = True,
+                      charge_tag: str = "odp") -> int:
+        """Fault one user page in and pin it — the audited
+        ``pin_user_pages``-style entry point the ODP fault service uses.
+
+        Unlike :meth:`map_user_kiobuf` there is no record object: the
+        caller owns the (reference, pin) pair and must release it with
+        :meth:`unpin_user_page`.  Returns the backing frame.
+        """
+        pte = task.page_table.lookup(vpn)
+        if pte is None or not pte.present or (write and not pte.writable):
+            handle_fault(self, task, vpn, write=write)
+            pte = task.page_table.lookup(vpn)
+        assert pte is not None and pte.present
+        pd = self.pagemap.get_page(pte.frame)
+        pd.pin()
+        self.clock.charge(self.costs.page_lock_ns, charge_tag)
+        if self.events.active:
+            self.events.emit(PIN, frames=(pte.frame,), pid=task.pid)
+        return pte.frame
+
+    def unpin_user_page(self, frame: int, pid: int,
+                        charge_tag: str = "odp") -> None:
+        """Drop one (reference, pin) pair taken by :meth:`pin_user_page`."""
+        pd = self.pagemap.page(frame)
+        pd.unpin()
+        self.clock.charge(self.costs.page_lock_ns, charge_tag)
+        self.pagemap.put_page(frame)
+        if self.events.active:
+            self.events.emit(UNPIN, frames=(frame,), pid=pid)
 
     # -------------------------------------------------- page cache (for E6 etc.)
 

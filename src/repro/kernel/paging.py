@@ -201,10 +201,17 @@ def _swap_out_task_one(kernel: "Kernel", task: "Task") -> "bool | None":
                               pid=task.pid, vpn=vpn, frame=pd.frame)
             continue
         if pd.pinned:
-            kernel.obs.inc("kernel.paging.swap_skips.pinned")
-            kernel.trace.emit("swap_skip", reason="pinned",
-                              pid=task.pid, vpn=vpn, frame=pd.frame)
-            continue
+            # Ask the pin owners before giving up: an ODP-style owner may
+            # invalidate its TPT entries and release its just-in-time
+            # pins, making the frame stealable after all.  Hooks answer
+            # True only when the frame ended up fully unpinned.
+            if not any(hook(pd.frame)
+                       for hook in list(kernel.pin_eviction_hooks)):
+                kernel.obs.inc("kernel.paging.swap_skips.pinned")
+                kernel.trace.emit("swap_skip", reason="pinned",
+                                  pid=task.pid, vpn=vpn, frame=pd.frame)
+                continue
+            kernel.obs.inc("kernel.paging.swap_evictions.odp")
         if pd.cow_shares > 0:
             # Simplification: COW-shared pages are not swapped (the real
             # kernel uses the swap cache here; irrelevant to the paper).

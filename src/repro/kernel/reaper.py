@@ -4,11 +4,10 @@ A clean process exit reclaims everything through the driver exit hooks
 — but teardown can be buggy (``Kernel.kill(pid, cleanup=False)``), a
 crash can land between a pin and its registration record, and a backend
 can transiently fail to unlock.  The reaper is the backstop: like
-``paging.try_to_free_pages`` it runs periodically (by default as a
-calendar event on the sim clock — rescheduling itself every
-``interval_ns`` — or drafted directly by ``try_to_free_pages`` when
-ordinary reclaim falls short; ``start(use_events=False)`` keeps the
-legacy per-charge subscriber cadence for A/B benchmarks) and scans for
+``paging.try_to_free_pages`` it runs periodically (as a calendar event
+on the sim clock, rescheduling itself every ``interval_ns`` — or
+drafted directly by ``try_to_free_pages`` when ordinary reclaim falls
+short) and scans for
 
 * registrations whose owning pid is dead (stale TPT entries included),
 * kiobufs pinning pages for a dead pid with no backing registration,
@@ -117,7 +116,6 @@ class OrphanReaper:
         self._backoff: dict[tuple, _Backoff] = {}
         self._next_due_ns = 0
         self._in_scan = False
-        self._unsubscribe: Callable[[], None] | None = None
         #: pending calendar event, if any
         self._event: ScheduledEvent | None = None
         #: calendar-shard label: all of this reaper's events carry it,
@@ -129,36 +127,25 @@ class OrphanReaper:
 
     # ------------------------------------------------------------- scheduling
 
-    def start(self, use_events: bool = True) -> "OrphanReaper":
+    def start(self) -> "OrphanReaper":
         """Run as a daemon: scan every ``interval_ns`` of simulated time.
 
-        The default rides the clock's event calendar (one pending event
-        at a time, rescheduled after each firing).  ``use_events=False``
-        keeps the legacy model — a per-charge subscriber that re-checks
-        the cadence on every single charge — retained only so the E18
-        benchmark can measure the difference.
+        Rides the clock's event calendar: one pending event at a time,
+        rescheduled after each firing.  (The legacy per-charge
+        ``clock.subscribe`` cadence was retired once E18 established the
+        A/B baseline — the calendar is the only model now.)
         """
-        if use_events:
-            if self._event is None or not self._event.pending:
-                self._event = self.kernel.clock.schedule_after(
-                    self.interval_ns, self._on_event,
-                    name="reaper.cadence", shard=self.shard)
-        elif self._unsubscribe is None:
-            self._unsubscribe = self.kernel.clock.subscribe(  # repro-lint: allow(clock-subscribe)
-                self._on_tick)
+        if self._event is None or not self._event.pending:
+            self._event = self.kernel.clock.schedule_after(
+                self.interval_ns, self._on_event,
+                name="reaper.cadence", shard=self.shard)
         return self
 
     def stop(self) -> None:
         """Stop the periodic scans (manual ``scan()`` still works)."""
-        if self._unsubscribe is not None:
-            self._unsubscribe()
-            self._unsubscribe = None
         if self._event is not None:
             self._event.cancel()
             self._event = None
-
-    def _on_tick(self, now_ns: int) -> None:
-        self.run_if_due()
 
     def _on_event(self, now_ns: int) -> None:
         """Calendar-event cadence with fire-once catch-up semantics.

@@ -218,7 +218,9 @@ class PioProtocol(Protocol):
             rreg = receiver.ua.register_mem(dst_va, nbytes,
                                             rdma_write=True)
             result.registrations += 1
-        segs = receiver.machine.nic.tpt.translate(
+        # The NIC-level wrapper (not tpt.translate directly) so an ODP
+        # registration's first touch fault-services instead of failing.
+        segs = receiver.machine.nic._tpt_translate(
             rreg.handle, dst_va, nbytes, rreg.region.prot_tag,
             rdma_write=True)
         # CPU-driven stores: first-word latency plus streaming cost.

@@ -266,9 +266,10 @@ class SimClock:
             charge fans out to every watcher, which is O(watchers) on
             the hottest path in the simulator.  Use
             :meth:`schedule_after` / :meth:`schedule_at` instead.  The
-            shim is kept for out-of-tree callers and for the legacy
-            (``use_events=False``) benchmark arms; in-tree call sites
-            are flagged by the ``clock-subscribe`` repro-lint rule.
+            shim is kept for out-of-tree callers and for the
+            watchdog's legacy (``use_events=False``) benchmark arm;
+            in-tree call sites are flagged by the ``clock-subscribe``
+            repro-lint rule.
         """
         self._watchers.append(fn)
 

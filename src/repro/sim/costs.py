@@ -86,6 +86,15 @@ class CostModel:
     #: process is, of course, more expensive than polling on a local
     #: memory location")
     reschedule_ns: int = 8_000
+    #: fixed cost of one ODP fault-service round trip: NIC posts the
+    #: fault request, the driver takes it, patches the TPT, rings the
+    #: resume doorbell (the page-fault work itself is charged by the
+    #: normal ``handle_fault`` path on top of this)
+    odp_fault_service_base_ns: int = 12_000
+    #: parking + unparking a DMA engine around a translation fault
+    odp_suspend_resume_ns: int = 3_000
+    #: invalidating one ODP TPT entry under pressure (PCI write + fence)
+    odp_invalidate_page_ns: int = 500
 
     # -- misc ----------------------------------------------------------------
     extra: dict = field(default_factory=dict, compare=False)
@@ -125,4 +134,6 @@ FREE = CostModel(
     nic_wire_latency_ns=0, completion_post_ns=0, reschedule_ns=0,
     retransmit_timeout_ns=0, retransmit_timeout_max_ns=0,
     atomic_rmw_ns=0, atomic_contention_window_ns=0,
+    odp_fault_service_base_ns=0, odp_suspend_resume_ns=0,
+    odp_invalidate_page_ns=0,
 )

@@ -88,10 +88,23 @@ DLM_CRASH_POINTS: tuple[str, ...] = (
     "dlm.before_release",
 )
 
+#: Crash points inside the ODP fault-service path, in execution order:
+#: after the fault request is accepted but before any page work, after
+#: the pages are faulted in and pinned but before the TPT is patched,
+#: and after the patch but before the NIC is resumed.  Each one kills
+#: the owner while a DMA sits suspended on its registration — the exit
+#: path must release every just-in-time pin and the NIC must complete
+#: the suspended descriptor in error, leaking nothing.
+ODP_CRASH_POINTS: tuple[str, ...] = (
+    "odp_fault.start",
+    "odp_fault.pinned",
+    "odp_fault.patched",
+)
+
 #: Every crash point a plan may name.
 CRASH_POINTS: tuple[str, ...] = (
     REGISTRATION_CRASH_POINTS + KERNEL_CRASH_POINTS
-    + tuple(TRANSFER_CRASH_POINTS) + DLM_CRASH_POINTS)
+    + tuple(TRANSFER_CRASH_POINTS) + DLM_CRASH_POINTS + ODP_CRASH_POINTS)
 
 
 @dataclass

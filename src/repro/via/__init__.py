@@ -8,8 +8,8 @@ Layers, bottom-up:
   queues, doorbells, completion queues;
 * :mod:`repro.via.nic` — descriptor processing, protection checks, DMA;
 * :mod:`repro.via.fabric` — the interconnect between NICs;
-* :mod:`repro.via.locking` — the four memory-locking backends the paper
-  compares;
+* :mod:`repro.via.locking` — the memory-locking backends: the four the
+  paper compares plus the on-demand-paging (ODP) extension;
 * :mod:`repro.via.kernel_agent` — the VI Kernel Agent (driver);
 * :mod:`repro.via.user_agent` — the VI User Agent (VIPL-flavoured API);
 * :mod:`repro.via.machine` — a host (kernel + NICs) and clusters.

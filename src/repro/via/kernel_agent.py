@@ -12,10 +12,11 @@ creation, and connection setup.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.analysis.events import DEREGISTER, REGISTER
+from repro.analysis.events import DEREGISTER, FAULT_SERVICE, ODP_EVICT, REGISTER
 from repro.errors import (
     InvalidArgument, NotRegistered, ProcessKilled, ViaError,
 )
@@ -25,9 +26,15 @@ from repro.via.constants import VIP_ERROR_RESOURCE, ReliabilityLevel
 from repro.via.cq import CompletionQueue
 from repro.via.locking import make_backend
 from repro.via.locking.base import LockingBackend
+from repro.via.locking.odp import OdpCookie, OdpLocking
 from repro.via.tenancy import TenantService
-from repro.via.tpt import MemoryRegion
+from repro.via.tpt import INVALID_FRAME, MemoryRegion
 from repro.via.vi import VirtualInterface
+
+#: Bound on the in-flight/recently-served fault table: real ODP NICs
+#: track a fixed number of outstanding page requests; ours additionally
+#: uses the table to coalesce duplicate requests for the same extent.
+ODP_FAULT_TABLE_ENTRIES = 64
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -87,6 +94,20 @@ class KernelAgent:
         # a registered range must not leave stale TPT entries.
         kernel.exit_hooks.append(self.on_task_exit)
         kernel.munmap_hooks.append(self.on_munmap)
+        # ODP plumbing: the NIC forwards translation faults here, and
+        # reclaim consults us before skipping a pinned frame.
+        nic.fault_service = self.service_translation_fault
+        kernel.pin_eviction_hooks.append(self.try_evict_frame)
+        #: frame → {(handle, page_index)}: which ODP registrations hold
+        #: a just-in-time pin on each frame (the eviction hook's index)
+        self._odp_resident: dict[int, set[tuple[int, int]]] = {}
+        #: bounded (handle, pages) → completion-time table; a duplicate
+        #: fault request landing while its pages are already valid is
+        #: *coalesced* — counted, but not re-serviced
+        self._fault_table: OrderedDict[tuple, int] = OrderedDict()
+        self.odp_faults_serviced = 0
+        self.odp_faults_coalesced = 0
+        self.odp_pages_evicted = 0
 
     # ---------------------------------------------------------------- open
 
@@ -157,7 +178,8 @@ class KernelAgent:
                 va_base=va, nbytes=nbytes, prot_tag=tag,
                 frames=result.frames, rdma_write=rdma_write,
                 rdma_read=rdma_read, rdma_atomic=rdma_atomic,
-                lock_cookie=result.cookie)
+                lock_cookie=result.cookie,
+                odp=isinstance(self.backend, OdpLocking))
         except ProcessKilled:
             # The registering process died here: the kill's exit path has
             # already released the backend's state (the kiobuf sweep, the
@@ -180,9 +202,13 @@ class KernelAgent:
         # the charge already booked.
         self.tenants.charge(reg)
         if self.kernel.events.active:
+            # An ODP registration has no resident frames yet; the invalid
+            # sentinels never reach the analysis stream.
             self.kernel.events.emit(
                 REGISTER, handle=region.handle, pid=task.pid,
-                frames=tuple(result.frames), backend=self.backend.name,
+                frames=tuple(f for f in result.frames
+                             if f != INVALID_FRAME),
+                backend=self.backend.name,
                 first_vpn=region.first_vpn, npages=region.npages,
                 uid=task.uid,
                 quota_pages=self.tenants.quota_of(task.uid))
@@ -211,6 +237,7 @@ class KernelAgent:
         region = self.nic.tpt.remove(handle)
         self.kernel.clock.charge(
             region.npages * self.kernel.costs.tpt_update_ns, "register")
+        self._purge_odp_index(handle, region.lock_cookie)
         self.backend.unlock(self.kernel, region.lock_cookie)
         self.kernel.trace.emit("via_deregister", handle=handle,
                                backend=self.backend.name)
@@ -233,6 +260,7 @@ class KernelAgent:
         # the sanitizer tolerates a DEREGISTER for an unknown handle.)
         if self.kernel.events.active:
             self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
+        self._purge_odp_index(handle, reg.region.lock_cookie)
         self.backend.unlock(self.kernel, reg.region.lock_cookie)
         self.registrations.pop(handle, None)
         self.tenants.credit(reg)
@@ -255,9 +283,126 @@ class KernelAgent:
         if self.kernel.events.active:
             self.kernel.events.emit(DEREGISTER, handle=handle, pid=reg.pid)
         self.nic.tpt.remove(handle)
+        # The pins leak with the record (that is this method's contract),
+        # so the eviction index must forget them too — a later hook call
+        # must not dereference a dropped registration.
+        self._purge_odp_index(handle, reg.region.lock_cookie)
         self.kernel.trace.emit("via_forget_registration", handle=handle,
                                pid=reg.pid, backend=self.backend.name)
         return reg
+
+    # -------------------------------------------------- on-demand paging
+
+    def _purge_odp_index(self, handle: int, cookie: object) -> None:
+        """Drop a dying registration's entries from the eviction index
+        (must run while the cookie still lists its resident pages)."""
+        if not isinstance(cookie, OdpCookie):
+            return
+        for index, frame in cookie.resident.items():
+            owners = self._odp_resident.get(frame)
+            if owners is not None:
+                owners.discard((handle, index))
+                if not owners:
+                    del self._odp_resident[frame]
+        self._fault_table = OrderedDict(
+            (k, v) for k, v in self._fault_table.items() if k[0] != handle)
+
+    def service_translation_fault(self, handle: int,
+                                  pages: tuple[int, ...],
+                                  token: int | None = None
+                                  ) -> dict[int, int]:
+        """Handle a NIC translation fault: fault the pages in, pin them,
+        patch the TPT, and let the NIC resume the suspended transfer.
+
+        Duplicate requests coalesce: a request whose pages are already
+        valid, arriving no later than the completion time of the service
+        that made them valid, is counted and answered from the TPT
+        without re-running the fault path.  Returns page index → frame.
+        """
+        reg = self.registrations.get(handle)
+        if reg is None:
+            raise NotRegistered(
+                f"fault service: no registration with handle {handle}")
+        cookie = reg.region.lock_cookie
+        if not isinstance(cookie, OdpCookie) \
+                or not isinstance(self.backend, OdpLocking):
+            raise ViaError(
+                f"fault service: handle {handle} is not an ODP "
+                "registration", status="VIP_INVALID_MEMORY")
+        kernel = self.kernel
+        key = (handle, pages)
+        done_ns = self._fault_table.get(key)
+        frames = reg.region.frames
+        if done_ns is not None and kernel.clock.now_ns <= done_ns \
+                and all(frames[i] != INVALID_FRAME for i in pages):
+            self.odp_faults_coalesced += 1
+            self._fault_table.move_to_end(key)
+            if kernel.events.active:
+                kernel.events.emit(
+                    FAULT_SERVICE, handle=handle, pages=pages,
+                    frames=tuple(frames[i] for i in pages),
+                    pid=reg.pid, token=token, coalesced=True)
+            kernel.trace.emit("odp_fault_coalesced", handle=handle,
+                              pages=len(pages), pid=reg.pid)
+            return {i: frames[i] for i in pages}
+
+        task = kernel.find_task(reg.pid)
+        crash_if_due(self.fault_plan, kernel, task, "odp_fault.start")
+        kernel.clock.charge(kernel.costs.odp_fault_service_base_ns, "odp")
+        patched = self.backend.fault_in(kernel, task, cookie, pages)
+        crash_if_due(self.fault_plan, kernel, task, "odp_fault.pinned")
+        self.nic.tpt.patch(handle, patched)
+        kernel.clock.charge(
+            len(patched) * kernel.costs.tpt_update_ns, "odp")
+        for index, frame in patched.items():
+            self._odp_resident.setdefault(frame, set()).add((handle, index))
+        while len(self._fault_table) >= ODP_FAULT_TABLE_ENTRIES:
+            self._fault_table.popitem(last=False)
+        self._fault_table[key] = kernel.clock.now_ns
+        self.odp_faults_serviced += 1
+        if kernel.events.active:
+            kernel.events.emit(
+                FAULT_SERVICE, handle=handle, pages=pages,
+                frames=tuple(patched[i] for i in pages),
+                pid=reg.pid, token=token, coalesced=False)
+        kernel.trace.emit("odp_fault_service", handle=handle,
+                          pages=len(pages), pid=reg.pid)
+        crash_if_due(self.fault_plan, kernel, task, "odp_fault.patched")
+        return patched
+
+    def try_evict_frame(self, frame: int) -> bool:
+        """Pin-eviction hook: asked by reclaim about a pinned frame.
+
+        If the only pins on the frame are ODP just-in-time pins, fence
+        the NIC first (invalidate the TPT entries, flushing cached
+        translations), then release the pins — the inverse of the fault
+        service.  Returns True when the frame ended up unpinned, i.e.
+        reclaim may steal it after all.
+        """
+        owners = self._odp_resident.pop(frame, None)
+        if not owners:
+            return False
+        kernel = self.kernel
+        by_handle: dict[int, list[int]] = {}
+        for handle, index in owners:
+            by_handle.setdefault(handle, []).append(index)
+        for handle, indices in sorted(by_handle.items()):
+            reg = self.registrations.get(handle)
+            if reg is None:
+                continue
+            # Fence before unpin: the NIC must stop translating through
+            # the frame before the pin that kept it resident goes away.
+            self.nic.tpt.invalidate_pages(handle, sorted(indices))
+            assert isinstance(self.backend, OdpLocking)
+            self.backend.evict_frame(kernel, reg.region.lock_cookie, frame)
+            self.odp_pages_evicted += len(indices)
+            if kernel.events.active:
+                kernel.events.emit(ODP_EVICT, handle=handle, frame=frame,
+                                   pages=tuple(sorted(indices)),
+                                   pid=reg.pid)
+            kernel.trace.emit("odp_evict", handle=handle, frame=frame,
+                              pages=len(indices), pid=reg.pid)
+        return not kernel.pagemap.page(frame).pinned
 
     # ------------------------------------------------------------ exit path
 

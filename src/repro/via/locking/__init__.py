@@ -1,7 +1,8 @@
 """Memory-locking backends for VIA registration.
 
-Four implementations of the same interface, reproducing the four
-approaches Section 3 of the paper analyses:
+Five implementations of the same interface: the four approaches
+Section 3 of the paper analyses, plus the design point the paper could
+not have — on-demand paging, which refuses to pin at registration:
 
 ===============  =========================================  ========== ==========
 backend          models                                      reliable?  multiple
@@ -13,10 +14,17 @@ backend          models                                      reliable?  multiple
 ``mlock_naive``  VMA/do_mlock without driver bookkeeping     yes         **no**
 ``mlock``        VMA/do_mlock + per-page range accounting    yes         yes*
 ``kiobuf``       the paper's proposal                        yes         yes
+``odp``          NP-RDMA / Psistakis on-demand paging:       yes**       yes
+                 invalid TPT entries, pin on fault, evict
+                 under pressure
 ===============  =========================================  ========== ==========
 
 (*) at the cost of driver-side bookkeeping and page-table walks the
 mainline kernel forbids.
+
+(**) reliable by repair rather than by prevention: pages may move, but
+every move is fenced by a TPT invalidate and a NIC suspend/fault/resume
+round trip — see ``docs/odp.md``.
 
 A sixth, historical approach — ``BigphysLocking`` over a boot-time
 :class:`~repro.kernel.bigphys.BigPhysArea` reservation — is reliable
@@ -31,6 +39,7 @@ from repro.via.locking.pageflags import PageFlagLocking
 from repro.via.locking.vma_mlock import MlockLocking
 from repro.via.locking.kiobuf import KiobufLocking
 from repro.via.locking.bigphys import BigphysLocking
+from repro.via.locking.odp import OdpCookie, OdpLocking
 
 #: Registry of backend factories by name.
 BACKENDS = {
@@ -39,6 +48,7 @@ BACKENDS = {
     "mlock_naive": lambda: MlockLocking(track_ranges=False),
     "mlock": lambda: MlockLocking(track_ranges=True),
     "kiobuf": KiobufLocking,
+    "odp": OdpLocking,
 }
 
 
@@ -55,6 +65,6 @@ def make_backend(name: str) -> LockingBackend:
 
 __all__ = [
     "LockingBackend", "LockResult", "RefcountLocking", "PageFlagLocking",
-    "MlockLocking", "KiobufLocking", "BigphysLocking", "BACKENDS",
-    "make_backend",
+    "MlockLocking", "KiobufLocking", "BigphysLocking", "OdpCookie",
+    "OdpLocking", "BACKENDS", "make_backend",
 ]

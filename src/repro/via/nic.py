@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.events import DMA_RESUME, DMA_SUSPEND
 from repro.errors import (
-    DescriptorError, DMAFault, NotRegistered, ProtectionError,
-    ViaConnectionError, ViaError,
+    DescriptorError, DMAFault, KernelError, NotRegistered, ProcessKilled,
+    ProtectionError, TranslationFault, ViaConnectionError, ViaError,
 )
 from repro.hw.dma import DMAEngine
 from repro.hw.physmem import PhysicalMemory
@@ -80,6 +81,11 @@ class VIANic:
         self.duplicates_dropped = 0   #: retransmits deduplicated by seq
         self.dma_faults = 0           #: injected DMA failures absorbed
         self.resets = 0               #: NIC resets (fault injection)
+        self.dma_suspensions = 0      #: transfers parked on an ODP fault
+        #: the kernel agent's ODP fault handler, bound at agent
+        #: construction: ``(handle, pages, token=) -> {page: frame}``
+        self.fault_service = None
+        self._next_suspend_token = 1
         #: per-word serialization of the atomic unit: flat physical word
         #: address → simulated time the word is held until.  An atomic
         #: arriving inside another atomic's contention window stalls.
@@ -329,12 +335,85 @@ class VIANic:
 
     # --------------------------------------------------------------- send processing
 
+    #: give up on a transfer that keeps faulting (pressure evicting the
+    #: pages as fast as the fault service brings them in)
+    ODP_FAULT_ROUNDS = 16
+
+    def _tpt_translate(self, handle: int, va: int, length: int,
+                       prot_tag: int, **rdma: bool
+                       ) -> list[tuple[int, int]]:
+        """``tpt.translate`` with the ODP suspend/fault/resume loop.
+
+        A :class:`TranslationFault` (invalid entries on an ODP region)
+        parks the transfer, posts a fault request to the kernel agent,
+        and retries once the agent has patched the TPT.  Non-ODP regions
+        never fault, so they take the plain one-call path.
+        """
+        for _ in range(self.ODP_FAULT_ROUNDS):
+            try:
+                return self.tpt.translate(handle, va, length, prot_tag,
+                                          **rdma)
+            except TranslationFault as fault:
+                self._service_fault(fault)
+        raise NotRegistered(
+            f"handle {handle}: translation still faulting after "
+            f"{self.ODP_FAULT_ROUNDS} fault-service rounds (thrashing)")
+
+    def _service_fault(self, fault: TranslationFault) -> None:
+        """Suspend the in-flight transfer, have the kernel agent fault
+        the pages in, and resume.
+
+        Failure funnels into :class:`NotRegistered` so every call site's
+        existing error path completes the descriptor the same way it
+        would for an unregistered buffer — except a kill at an ODP crash
+        point, which must keep propagating after the engine is unparked.
+        """
+        kernel = self.kernel
+        token = self._next_suspend_token
+        self._next_suspend_token += 1
+        self.dma_suspensions += 1
+        kernel.obs.inc("via.nic.dma_suspensions")
+        kernel.clock.charge(kernel.costs.odp_suspend_resume_ns, "via_nic")
+        if kernel.events.active:
+            kernel.events.emit(DMA_SUSPEND, handle=fault.handle,
+                               pages=fault.pages, token=token,
+                               va=fault.va, length=fault.length)
+        kernel.trace.emit("odp_dma_suspend", nic=self.name,
+                          handle=fault.handle, pages=len(fault.pages),
+                          token=token)
+        try:
+            if self.fault_service is None:
+                raise NotRegistered(
+                    f"{self.name}: translation fault on handle "
+                    f"{fault.handle} with no fault service bound")
+            self.fault_service(fault.handle, fault.pages, token=token)
+        except ProcessKilled:
+            self._resume(fault.handle, token, ok=False)
+            raise
+        except (ViaError, KernelError) as exc:
+            # Owner dead, registration gone, range unmapped mid-fault:
+            # the transfer cannot make progress — unpark the engine and
+            # complete the descriptor through the error path.
+            self._resume(fault.handle, token, ok=False)
+            raise NotRegistered(
+                f"{self.name}: fault service failed for handle "
+                f"{fault.handle}: {exc}") from exc
+        self._resume(fault.handle, token, ok=True)
+
+    def _resume(self, handle: int, token: int, ok: bool) -> None:
+        kernel = self.kernel
+        if kernel.events.active:
+            kernel.events.emit(DMA_RESUME, handle=handle, token=token,
+                               ok=ok)
+        kernel.trace.emit("odp_dma_resume", nic=self.name, handle=handle,
+                          token=token, ok=ok)
+
     def _translate_local(self, vi: VirtualInterface, desc: Descriptor
                          ) -> list[tuple[int, int]]:
         """Translate the descriptor's local segments under the VI's tag."""
         segments: list[tuple[int, int]] = []
         for seg in desc.segments:
-            segments.extend(self.tpt.translate(
+            segments.extend(self._tpt_translate(
                 seg.mem_handle, seg.va, seg.length, vi.prot_tag))
         return segments
 
@@ -704,7 +783,7 @@ class VIANic:
         assert packet.remote_handle is not None
         assert packet.remote_va is not None
         try:
-            segs = self.tpt.translate(
+            segs = self._tpt_translate(
                 packet.remote_handle, packet.remote_va,
                 len(packet.payload), vi.prot_tag, rdma_write=True)
         except (ProtectionError, NotRegistered) as exc:
@@ -752,7 +831,7 @@ class VIANic:
         assert packet.remote_handle is not None
         assert packet.remote_va is not None
         try:
-            segs = self.tpt.translate(
+            segs = self._tpt_translate(
                 packet.remote_handle, packet.remote_va,
                 packet.read_length, vi.prot_tag, rdma_read=True)
         except (ProtectionError, NotRegistered) as exc:
@@ -850,7 +929,7 @@ class VIANic:
         if packet.remote_va % ATOMIC_OPERAND_BYTES:
             return reject(VIP_INVALID_PARAMETER, "misaligned")
         try:
-            segs = self.tpt.translate(
+            segs = self._tpt_translate(
                 packet.remote_handle, packet.remote_va,
                 ATOMIC_OPERAND_BYTES, vi.prot_tag, rdma_atomic=True)
         except (ProtectionError, NotRegistered) as exc:

@@ -30,14 +30,24 @@ from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.analysis.events import TPT_INSERT, TPT_INVALIDATE, TPT_TRANSLATE
-from repro.errors import NotRegistered, ProtectionError, ViaError
+from repro.analysis.events import (
+    TPT_INSERT, TPT_INVALIDATE, TPT_PAGE_INVALIDATE, TPT_TRANSLATE,
+)
+from repro.errors import (
+    NotRegistered, ProtectionError, TranslationFault, ViaError,
+)
 from repro.hw.physmem import PAGE_SIZE
 from repro.via.constants import (
     DEFAULT_TPT_ENTRIES, DEFAULT_TRANSLATION_CACHE_ENTRIES,
 )
 
 _handles = itertools.count(1)
+
+#: Sentinel frame number of a TPT entry whose valid bit is clear.  An
+#: ODP registration installs every entry like this; the fault-service
+#: path patches real frames in just-in-time, and pressure-driven
+#: eviction writes the sentinel back.
+INVALID_FRAME = -1
 
 
 class FrameList(list):
@@ -139,6 +149,10 @@ class MemoryRegion:
     rdma_read_enable: bool = False
     rdma_atomic_enable: bool = False
     valid: bool = True
+    #: on-demand-paging region: entries may carry :data:`INVALID_FRAME`
+    #: and translation must check per-page validity (non-ODP regions
+    #: skip that walk entirely, keeping the legacy fast path unchanged)
+    odp: bool = False
     #: opaque cookie the locking backend returned; owned by the Kernel
     #: Agent, carried here so deregistration can find it
     lock_cookie: object = field(default=None, compare=False)
@@ -180,6 +194,25 @@ class MemoryRegion:
         """True iff ``[va, va+length)`` lies inside the region."""
         return (length >= 0 and va >= self.va_base
                 and va + length <= self.va_base + self.nbytes)
+
+    def page_span(self, va: int, length: int) -> range:
+        """Region-relative page indices touched by ``[va, va+length)``."""
+        aligned_base = self.first_vpn * PAGE_SIZE
+        first = (va - aligned_base) // PAGE_SIZE
+        last = (va + max(length, 1) - 1 - aligned_base) // PAGE_SIZE
+        return range(first, last + 1)
+
+    def invalid_pages(self, va: int, length: int) -> tuple[int, ...]:
+        """Region-relative indices of not-yet-resident pages in the span
+        (only meaningful for ODP regions)."""
+        frames = self.frames
+        return tuple(i for i in self.page_span(va, length)
+                     if frames[i] == INVALID_FRAME)
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently backed by a real frame."""
+        return sum(1 for f in self.frames if f != INVALID_FRAME)
 
 
 class TranslationProtectionTable:
@@ -223,7 +256,8 @@ class TranslationProtectionTable:
     def install(self, va_base: int, nbytes: int, prot_tag: int,
                 frames: list[int], rdma_write: bool = False,
                 rdma_read: bool = False, rdma_atomic: bool = False,
-                lock_cookie: object = None) -> MemoryRegion:
+                lock_cookie: object = None, odp: bool = False
+                ) -> MemoryRegion:
         """Install a region; returns it with a fresh handle."""
         if len(frames) == 0:
             raise ViaError("cannot register an empty region")
@@ -236,15 +270,60 @@ class TranslationProtectionTable:
             handle=next(_handles), va_base=va_base, nbytes=nbytes,
             prot_tag=prot_tag, frames=FrameList(frames),
             rdma_write_enable=rdma_write, rdma_read_enable=rdma_read,
-            rdma_atomic_enable=rdma_atomic, lock_cookie=lock_cookie)
+            rdma_atomic_enable=rdma_atomic, lock_cookie=lock_cookie,
+            odp=odp)
         self.regions[region.handle] = region
         self.entries_used += len(frames)
         events = self._events
         if events is not None and events.active:
             events.emit(TPT_INSERT, handle=region.handle,
-                        frames=tuple(frames),
-                        first_vpn=region.first_vpn, npages=len(frames))
+                        frames=tuple(f for f in frames
+                                     if f != INVALID_FRAME),
+                        first_vpn=region.first_vpn, npages=len(frames),
+                        odp=odp)
         return region
+
+    # -- ODP valid-bit maintenance -------------------------------------------
+
+    def patch(self, handle: int, pages: dict[int, int]) -> None:
+        """Write real frames behind ODP entries (fault-service path).
+
+        ``pages`` maps region-relative page index → frame.  Assigning
+        through the :class:`FrameList` bumps its version, so stale
+        cached translations and the extent map rebuild on the next use.
+        """
+        region = self.lookup(handle)
+        if not region.odp:
+            raise ViaError(f"handle {handle} is not an ODP region")
+        for index, frame in pages.items():
+            region.frames[index] = frame
+
+    def invalidate_pages(self, handle: int, pages: list[int]
+                         ) -> tuple[int, ...]:
+        """Clear the valid bit of individual ODP entries (eviction path).
+
+        The region itself stays registered — unlike :meth:`remove`, a
+        later DMA touching these pages takes a translation fault and the
+        fault service brings them back.  Returns the frames that were
+        resident behind the invalidated entries.
+        """
+        region = self.lookup(handle)
+        if not region.odp:
+            raise ViaError(f"handle {handle} is not an ODP region")
+        dropped: list[int] = []
+        for index in pages:
+            frame = region.frames[index]
+            if frame != INVALID_FRAME:
+                dropped.append(frame)
+                region.frames[index] = INVALID_FRAME
+        self.invalidate_translations(handle)
+        if self._costs is not None:
+            self._charge(len(pages) * self._costs.odp_invalidate_page_ns)
+        events = self._events
+        if events is not None and events.active:
+            events.emit(TPT_PAGE_INVALIDATE, handle=handle,
+                        pages=tuple(pages), frames=tuple(dropped))
+        return tuple(dropped)
 
     def remove(self, handle: int) -> MemoryRegion:
         """Invalidate and drop a region; returns it (for its cookie).
@@ -349,6 +428,12 @@ class TranslationProtectionTable:
             raise NotRegistered(
                 f"span [{va}, {va + length}) outside region "
                 f"[{region.va_base}, {region.va_base + region.nbytes})")
+        if region.odp:
+            missing = region.invalid_pages(va, length)
+            if missing:
+                raise TranslationFault(
+                    f"handle {handle}: pages {missing} not resident",
+                    handle=handle, va=va, length=length, pages=missing)
 
         version = region.frames_version
         key = (handle, va, length)

@@ -527,5 +527,6 @@ def test_check_catalog_is_exact():
     assert CHECKS == (
         "dma-unpinned-frame", "dma-swapped-frame", "mlock-nesting",
         "pin-underflow", "tpt-use-after-invalidate", "registration-leak",
-        "swap-registered", "quota-breach", "atomic-nonatomic-overlap")
+        "swap-registered", "quota-breach", "atomic-nonatomic-overlap",
+        "odp-dangling-suspension")
     assert MLOCK_BACKENDS == {"mlock", "mlock_naive"}

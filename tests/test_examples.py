@@ -30,7 +30,7 @@ class TestExamples:
         out = run_example("locktest_swapping.py")
         assert "refcount" in out
         assert "64/64" in out           # all pages moved
-        assert "1 of 5 mechanisms fail" in out
+        assert "1 of 6 mechanisms fail" in out
 
     def test_zero_copy_messaging(self):
         out = run_example("zero_copy_messaging.py")

@@ -167,3 +167,54 @@ class TestTryToFreePages:
             # mlock faults pages in *and* locks them, so t2's own pages
             # are not stealable either: a true OOM.
             k.do_mlock(t2, va2, 32 * PAGE_SIZE)
+
+
+class TestPinEvictionHooks:
+    """Regression for the per-frame eviction hook: reclaim used to skip
+    *every* pinned frame unconditionally; now it asks the registered
+    pin owners first, and only skips when no owner releases its pins."""
+
+    def test_pinned_skip_without_hooks(self, kernel):
+        t, va = fill_task(kernel, 4)
+        for vpn in range(t.vpn_of(va), t.vpn_of(va) + 4):
+            kernel.pin_user_page(t, vpn)
+        assert kernel.pin_eviction_hooks == []
+        assert paging.swap_out(kernel, 2) == 0
+        assert any(e["reason"] == "pinned"
+                   for e in kernel.trace.of_kind("swap_skip"))
+        assert t.resident_pages() == 4
+        for frame in t.physical_pages(va, 4):
+            kernel.unpin_user_page(frame, t.pid)
+
+    def test_declining_hook_preserves_skip(self, kernel):
+        t, va = fill_task(kernel, 2)
+        frames = t.physical_pages(va, 2)
+        for vpn in range(t.vpn_of(va), t.vpn_of(va) + 2):
+            kernel.pin_user_page(t, vpn)
+        asked = []
+        kernel.pin_eviction_hooks.append(
+            lambda frame: (asked.append(frame), False)[1])
+        assert paging.swap_out(kernel, 2) == 0
+        assert set(asked) == set(frames)     # consulted, not bypassed
+        assert t.resident_pages() == 2
+        for frame in frames:
+            kernel.unpin_user_page(frame, t.pid)
+
+    def test_releasing_hook_makes_frame_stealable(self, kernel):
+        kernel.obs.enable()
+        t, va = fill_task(kernel, 2)
+        frames = t.physical_pages(va, 2)
+        for vpn in range(t.vpn_of(va), t.vpn_of(va) + 2):
+            kernel.pin_user_page(t, vpn)
+
+        def release(frame):
+            if frame not in frames:
+                return False
+            kernel.unpin_user_page(frame, t.pid)
+            return True
+
+        kernel.pin_eviction_hooks.append(release)
+        assert paging.swap_out(kernel, 2) == 2
+        assert t.resident_pages() == 0
+        assert kernel.obs.counter(
+            "kernel.paging.swap_evictions.odp").value == 2

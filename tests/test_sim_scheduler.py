@@ -298,19 +298,16 @@ class TestCadenceCatchUp:
         assert reaper.scans == 2
         reaper.stop()
 
-    def test_reaper_event_and_shim_arms_scan_equally(self, kernel):
-        charges = [400, 400, 400, 2_500, 100, 1_000, 600]
-
-        def run(use_events):
-            kernel.clock.reset()
-            reaper = OrphanReaper(kernel, interval_ns=1_000)
-            reaper.start(use_events=use_events)
-            for ns in charges:
-                kernel.clock.charge(ns)
-            reaper.stop()
-            return reaper.scans
-
-        assert run(True) == run(False)
+    def test_reaper_start_is_idempotent(self, kernel):
+        # The legacy per-charge subscriber arm is retired: start() always
+        # rides the calendar, and calling it twice must not double-book
+        # the cadence event.
+        reaper = OrphanReaper(kernel, interval_ns=1_000).start()
+        reaper.start()
+        assert kernel.clock.pending_events() == 1
+        kernel.clock.charge(1_000)
+        assert reaper.scans == 1
+        reaper.stop()
 
     def test_stopped_reaper_fires_no_more_events(self, kernel):
         reaper = OrphanReaper(kernel, interval_ns=1_000).start()

@@ -50,16 +50,25 @@ class TestRegistry:
         assert caps["mlock"]["supports_multiple_registration"]
         assert caps["kiobuf"]["reliable"]
         assert caps["kiobuf"]["supports_multiple_registration"]
-        # only kiobuf keeps the driver out of the page tables
+        assert caps["odp"]["reliable"]          # reliable by repair
+        assert caps["odp"]["supports_multiple_registration"]
+        # only kiobuf and odp keep the driver out of the page tables
         assert not caps["kiobuf"]["walks_page_tables"]
+        assert not caps["odp"]["walks_page_tables"]
         for name in ("refcount", "pageflags", "mlock", "mlock_naive"):
             assert caps[name]["walks_page_tables"]
 
 
-class TestAllBackendsCommon:
-    """Behaviours every backend shares."""
+#: The backends that pin (and therefore resolve frames) at lock time.
+#: ``odp`` deliberately does neither — its registration-time contract
+#: is exercised in ``test_via_odp.py``.
+EAGER_BACKENDS = sorted(set(BACKENDS) - {"odp"})
 
-    @pytest.mark.parametrize("name", sorted(BACKENDS))
+
+class TestAllBackendsCommon:
+    """Behaviours every *eager* backend shares."""
+
+    @pytest.mark.parametrize("name", EAGER_BACKENDS)
     def test_lock_returns_resident_frames(self, setup, name):
         kernel, t, va = setup
         be = make_backend(name)
@@ -67,7 +76,7 @@ class TestAllBackendsCommon:
         assert len(res.frames) == 8
         assert res.frames == t.physical_pages(va, 8)
 
-    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @pytest.mark.parametrize("name", EAGER_BACKENDS)
     def test_lock_faults_in_nonresident_pages(self, setup, name):
         kernel, t, va = setup
         be = make_backend(name)
@@ -75,7 +84,7 @@ class TestAllBackendsCommon:
         be.lock(kernel, t, va, 8 * PAGE_SIZE)
         assert t.resident_pages() == 8
 
-    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @pytest.mark.parametrize("name", EAGER_BACKENDS)
     def test_unlock_restores_page_state(self, setup, name):
         kernel, t, va = setup
         be = make_backend(name)
