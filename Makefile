@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize soak bench bench-e18 bench-e19 bench-e20 bench-quick tables examples all clean
+.PHONY: install test lint sanitize race bench bench-e18 bench-e19 bench-e20 bench-e21 bench-quick soak tables examples all clean
 
 install:
 	$(PY) setup.py develop
@@ -21,6 +21,15 @@ lint:
 # The whole suite with the pin sanitizer armed strict on every kernel.
 sanitize:
 	REPRO_SANITIZE=strict $(PY) -m pytest tests/
+
+# Schedule exploration: every registered scenario re-run over permuted
+# same-deadline dispatch orders and crash placements, the race detector
+# and pin sanitizer armed on each run.  The seeded goldens must be
+# identity-clean yet detected; the workload scenarios must be
+# race-clean everywhere.  REPRO_RACE_SCHEDULES scales the candidate
+# count; the per-run verdicts land in RACE_REPORT.json.
+race:
+	$(PY) tools/race_explore.py --report RACE_REPORT.json
 
 # The E17 churn soak at full scale: 8 tenants, 2 simulated hours of
 # connect/register/transfer/kill/swap-pressure churn under chaos, with
@@ -50,6 +59,13 @@ bench-e19:
 bench-e20:
 	$(PY) benchmarks/report.py -o BENCH_E20.json \
 		benchmarks/bench_e20_odp.py
+
+# The E21 race-exploration sweep: detection rate over the three seeded
+# race scenarios (identity-clean, detected under exploration) plus
+# explorer schedules/sec; numbers land in BENCH_E21.json.
+bench-e21:
+	$(PY) benchmarks/report.py -o BENCH_E21.json \
+		benchmarks/bench_e21_races.py
 
 # Full benchmark run aggregated into BENCH.json (simulated-ns tables and
 # series plus pytest-benchmark host-time medians).

@@ -1,0 +1,97 @@
+"""E21 — race-detector detection rate and explorer throughput.
+
+The three seeded scenarios each plant one known race class
+(unpin-vs-dma, invalidate-vs-translate, fault-service-vs-evict) behind
+a same-deadline tie that FIFO dispatch happens to resolve safely: the
+identity schedule must come back clean, and schedule exploration must
+surface exactly the seeded race kind.  The table reports, per scenario,
+how many schedules ran vs were DPOR-pruned, the identity verdict, and
+the race kinds found; the headline metrics are the detection rate
+(found seeded races / seeded races, must be 1.0) and explorer
+throughput in schedules per second of host time.
+
+Scaling knob (CI smoke): ``REPRO_E21_SCHEDULES`` — candidate schedules
+per scenario, identity included (shares its default with the explorer
+CLI's ``REPRO_RACE_SCHEDULES``).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.explore import ExploreConfig, ExploreReport, explore
+from repro.analysis.scenarios import SCENARIOS
+from repro.bench.harness import fmt_bool, print_table, record
+
+SCHEDULES = int(os.environ.get(
+    "REPRO_E21_SCHEDULES",
+    os.environ.get("REPRO_RACE_SCHEDULES", "8")))
+
+#: the scenarios that plant a race on purpose — the detection-rate set
+SEEDED = [name for name, sc in SCENARIOS.items() if sc.expect_races]
+
+
+@pytest.fixture(scope="module")
+def sweeps() -> dict[str, tuple[ExploreReport, float]]:
+    """Explore every seeded scenario, timing each exploration (host
+    seconds — this measures the explorer, not the simulated hardware)."""
+    out: dict[str, tuple[ExploreReport, float]] = {}
+    for name in SEEDED:
+        t0 = time.perf_counter()
+        report = explore(SCENARIOS[name],
+                         ExploreConfig(schedules=SCHEDULES))
+        out[name] = (report, time.perf_counter() - t0)
+    return out
+
+
+def test_e21_seeded_detection_rate(sweeps, report):
+    if report("E21: race detection rate + explorer throughput"):
+        print_table(
+            f"E21 — {SCHEDULES} candidate schedules per scenario",
+            ["scenario", "seeded race", "ran", "pruned", "ties",
+             "identity clean", "detected"],
+            [[name, ",".join(SCENARIOS[name].expect_races),
+              rep.schedules_run, rep.pruned, len(rep.groups),
+              fmt_bool(rep.identity_result.clean),
+              fmt_bool(rep.race_kinds_found
+                       == set(SCENARIOS[name].expect_races))]
+             for name, (rep, _elapsed) in sweeps.items()])
+
+    detected = 0
+    for name, (rep, _elapsed) in sweeps.items():
+        expected = set(SCENARIOS[name].expect_races)
+        # Acceptance: clean under the default schedule...
+        assert rep.identity_result.clean, name
+        # ...exactly the seeded race under exploration, nothing else...
+        assert rep.race_kinds_found == expected, (
+            name, rep.race_kinds_found)
+        # ...and no sanitizer fallout on any schedule.
+        assert all(not r.san_violations for r in rep.results), name
+        detected += 1
+
+    runs = sum(rep.schedules_run for rep, _ in sweeps.values())
+    elapsed = sum(e for _, e in sweeps.values())
+    schedules_per_sec = runs / elapsed if elapsed > 0 else 0.0
+    rate = detected / len(SEEDED)
+    record("metrics", "E21 race exploration",
+           schedules=SCHEDULES, scenarios=SEEDED,
+           detection_rate=rate,
+           schedules_run=runs,
+           pruned=sum(rep.pruned for rep, _ in sweeps.values()),
+           schedules_per_sec=round(schedules_per_sec, 2),
+           **{f"{name}_kinds": sorted(rep.race_kinds_found)
+              for name, (rep, _e) in sweeps.items()})
+    assert rate == 1.0
+
+
+def test_e21_host_time(benchmark):
+    """Host-time anchor: one full exploration of the unpin-vs-dma
+    scenario (detector + sanitizer armed on every schedule)."""
+    def run():
+        rep = explore(SCENARIOS["unpin_vs_dma"],
+                      ExploreConfig(schedules=SCHEDULES))
+        assert rep.race_kinds_found == {"unpin-vs-dma"}
+        return rep
+
+    benchmark(run)

@@ -16,15 +16,30 @@ check of those invariants:
   the repo's own coding invariants (no swallowed control-flow
   exceptions, no wall-clock time or unseeded randomness, guarded
   observability hot paths, audited kernel-state mutation, validated
-  fault-plan knobs).
+  fault-plan knobs, guarded event-hub emissions).
+* :mod:`repro.analysis.races` — :class:`RaceDetector`, a vector-clock
+  happens-before engine over the same stream: conflicting frame/TPT
+  accesses with no synchronization edge become typed
+  :class:`RaceViolation`s even when the schedule that ran was harmless.
+* :mod:`repro.analysis.explore` — the schedule explorer: re-runs a
+  scenario over permuted same-deadline dispatch orders and crash-point
+  placements (DPOR-lite pruned), feeding every run through the race
+  engine and the sanitizer.
 """
 
 from __future__ import annotations
 
 from repro.analysis.events import EVENT_KINDS, EventHub, SanEvent
+from repro.analysis.explore import (
+    ExploreConfig, ExploreReport, Scenario, ScheduleResult, explore,
+)
+from repro.analysis.races import RACE_KINDS, RaceDetector, RaceViolation
 from repro.analysis.sanitizer import CHECKS, PinSanitizer, Violation
 
 __all__ = [
     "EVENT_KINDS", "EventHub", "SanEvent",
     "CHECKS", "PinSanitizer", "Violation",
+    "RACE_KINDS", "RaceDetector", "RaceViolation",
+    "ExploreConfig", "ExploreReport", "Scenario", "ScheduleResult",
+    "explore",
 ]

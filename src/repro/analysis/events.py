@@ -57,13 +57,24 @@ TPT_PAGE_INVALIDATE = "tpt_page_invalidate"
                                    #: individual ODP entries went invalid
                                    #: (handle, pages) — the region itself
                                    #: stays registered, unlike TPT_INVALIDATE
+DOORBELL = "doorbell"              #: a descriptor was handed to the NIC —
+                                   #: the release half of the doorbell→
+                                   #: completion sync edge (token, vi, pid)
+COMPLETION = "completion"          #: user code *observed* a completion —
+                                   #: the acquire half of the doorbell edge
+                                   #: (token, vi)
+FENCE = "fence"                    #: eviction fenced a region's in-flight
+                                   #: translations before unpinning
+                                   #: (handle, frame) — release half of the
+                                   #: fence→fault-service sync edge
 
 #: Every kind the instrumented layers emit.
 EVENT_KINDS: tuple[str, ...] = (
     PIN, UNPIN, MLOCK, MUNLOCK, DMA_BEGIN, DMA_END, SWAP_OUT, SWAP_IN,
     TPT_INSERT, TPT_INVALIDATE, TPT_TRANSLATE, MUNMAP, REGISTER,
     DEREGISTER, TASK_EXIT, ATOMIC_RMW, DMA_SUSPEND, DMA_RESUME,
-    FAULT_SERVICE, ODP_EVICT, TPT_PAGE_INVALIDATE,
+    FAULT_SERVICE, ODP_EVICT, TPT_PAGE_INVALIDATE, DOORBELL, COMPLETION,
+    FENCE,
 )
 
 _hub_ids = itertools.count(0)
@@ -91,7 +102,10 @@ class EventHub:
 
     ``active`` is a plain attribute (kept in sync by
     :meth:`subscribe`), so hot emission sites can guard with a single
-    attribute load instead of a property call.
+    attribute load instead of a property call.  The hub's truthiness
+    mirrors it (``if events:`` ≡ ``if events.active:``), which is the
+    guard the ``hub-emit-unguarded`` lint rule enforces on emission
+    sites.
     """
 
     __slots__ = ("_clock", "_subs", "active", "host", "events_emitted")
@@ -102,6 +116,10 @@ class EventHub:
         self.active = False
         self.host = host if host is not None else f"kernel{next(_hub_ids)}"
         self.events_emitted = 0
+
+    def __bool__(self) -> bool:
+        """True while anything is subscribed — the emission-site guard."""
+        return self.active
 
     def subscribe(self, callback: Callable[[SanEvent], None]
                   ) -> Callable[[], None]:

@@ -46,6 +46,14 @@ kind a reviewer has to re-derive on every PR:
     calendar (``clock.schedule_after`` / ``schedule_at``); the clock
     module itself and explicitly pragma'd legacy A/B arms are exempt.
 
+``hub-emit-unguarded``
+    An :class:`~repro.analysis.events.EventHub` ``emit(...)`` builds a
+    :class:`SanEvent` dict even while nobody subscribes, so every
+    emission on a hot path must sit under an ``if ....active:`` guard
+    (or test the hub's truthiness, which is the same check).  The
+    analysis package itself is exempt — the hub, the checkers, and
+    their tests are allowed to drive emissions unconditionally.
+
 Findings on a line carrying ``# repro-lint: allow(<rule>, ...)`` (or
 whose preceding line carries it) are suppressed; rules can also be
 enabled/disabled wholesale per :class:`Linter`.
@@ -73,6 +81,8 @@ RULES: dict[str, str] = {
         "FaultPlan knob not validated in __post_init__",
     "clock-subscribe":
         "per-charge clock.subscribe() instead of a calendar event",
+    "hub-emit-unguarded":
+        "event-hub emit outside an `if ....active:` guard",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\(([^)]*)\)")
@@ -112,6 +122,11 @@ _OBS_EXEMPT_PREFIX = "repro/obs/"
 
 #: The scheduler/shim module — the one place `subscribe` may live.
 _CLOCK_SUBSCRIBE_EXEMPT_FILES = ("repro/sim/clock.py",)
+
+#: The analysis package (hub, checkers) emits unconditionally by design.
+_HUB_EMIT_EXEMPT_PREFIX = "repro/analysis/"
+#: Receiver names an EventHub lives under by convention.
+_HUB_NAMES = frozenset({"events", "_events"})
 
 
 @dataclass(frozen=True)
@@ -234,6 +249,9 @@ class Linter:
         if "clock-subscribe" in self.rules \
                 and not rel.endswith(_CLOCK_SUBSCRIBE_EXEMPT_FILES):
             findings += self._check_clock_subscribe(tree, path)
+        if "hub-emit-unguarded" in self.rules \
+                and not rel.startswith(_HUB_EMIT_EXEMPT_PREFIX):
+            findings += self._check_hub_emit(tree, path)
         findings = [f for f in findings
                     if f.rule not in allowed.get(f.line, ())
                     and f.rule not in allowed.get(f.line - 1, ())]
@@ -508,6 +526,62 @@ class Linter:
                     "per-charge `clock.subscribe(...)` re-runs every "
                     "watcher on every charge; schedule a calendar event "
                     "with `clock.schedule_after(...)` instead"))
+        return findings
+
+
+    @staticmethod
+    def _check_hub_emit(tree: ast.AST, path: str) -> list[LintFinding]:
+        def guards_hub(test: ast.expr) -> bool:
+            # `....active` attribute, or the hub itself tested for
+            # truthiness (EventHub.__bool__ returns `.active`).
+            for sub in ast.walk(test):
+                if isinstance(sub, ast.Attribute) and sub.attr == "active":
+                    return True
+                if _last_name(sub) in _HUB_NAMES:
+                    return True
+            return False
+
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and _last_name(node.func.value) in _HUB_NAMES):
+                continue
+            guarded = False
+            ancestor = getattr(node, "_lint_parent", None)
+            func_scope = None
+            while ancestor is not None:
+                if isinstance(ancestor, ast.If) \
+                        and guards_hub(ancestor.test):
+                    guarded = True
+                    break
+                if func_scope is None and isinstance(
+                        ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    func_scope = ancestor
+                ancestor = getattr(ancestor, "_lint_parent", None)
+            # …or the enclosing function bailed out early on the hub.
+            if not guarded and func_scope is not None:
+                for stmt in func_scope.body:
+                    if stmt.lineno >= node.lineno:
+                        break
+                    if isinstance(stmt, ast.If) \
+                            and guards_hub(stmt.test) \
+                            and stmt.body and isinstance(
+                                stmt.body[-1],
+                                (ast.Return, ast.Continue, ast.Raise)):
+                        guarded = True
+                        break
+            if not guarded:
+                findings.append(LintFinding(
+                    path, node.lineno, node.col_offset,
+                    "hub-emit-unguarded",
+                    "event-hub `.emit(...)` builds its event dict even "
+                    "with nobody subscribed; guard with "
+                    "`if ....active:` (or the hub's truthiness)"))
         return findings
 
 

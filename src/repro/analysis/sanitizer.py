@@ -76,13 +76,14 @@ violations a chaos test *wants* to happen without raising.
 
 from __future__ import annotations
 
+import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.analysis import events as ev
 from repro.analysis.events import EventHub, SanEvent
-from repro.errors import SanitizerViolation
+from repro.errors import SanitizerViolation, UnmetExpectation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -171,6 +172,9 @@ class PinSanitizer:
         self._trail_report = trail_report
         self._ring: list[tuple[Any, SanEvent]] = []
         self._expectations: list[_Expectation] = []
+        #: expect() blocks that exited without capturing anything (and
+        #: without an exception in flight) — reported at disarm
+        self._unmet: list[str] = []
         self._unsubscribes: list[Callable[[], None]] = []
         self._collectors: list[tuple["Observability", Callable]] = []
         self._counts: dict[str, int] = {check: 0 for check in CHECKS}
@@ -253,7 +257,16 @@ class PinSanitizer:
         """Capture violations of ``checks`` (all checks when empty)
         instead of recording/raising them — for tests that *provoke* a
         violation and want to assert it fired.  Yields the capture
-        list."""
+        list.
+
+        An expect block that exits *without* capturing anything is a
+        test bug — the scenario stopped exercising the hazard and the
+        "expected violation" assertion now vacuously passes.  Such
+        blocks are remembered and :meth:`disarm` raises
+        :class:`~repro.errors.UnmetExpectation` for them (at disarm
+        rather than at block exit, so an exception already unwinding
+        through the block — the usual reason nothing fired — is never
+        masked)."""
         for check in checks:
             if check not in CHECKS:
                 raise ValueError(
@@ -264,6 +277,10 @@ class PinSanitizer:
             yield exp.captured
         finally:
             self._expectations.remove(exp)
+            if not exp.captured and sys.exc_info()[0] is None:
+                self._unmet.append(
+                    "expect(" + ", ".join(sorted(exp.checks)) + ")"
+                    if exp.checks else "expect(<any check>)")
 
     # ----------------------------------------------------------------- arming
 
@@ -334,6 +351,11 @@ class PinSanitizer:
                 f"{suspend['handle']} still open at disarm — the parked "
                 f"transfer was never resumed",
                 handle=suspend["handle"])
+        unmet, self._unmet = self._unmet, []
+        if unmet:
+            raise UnmetExpectation(
+                f"{len(unmet)} expect() block(s) completed without the "
+                f"expected violation ever firing: " + "; ".join(unmet))
 
     # ------------------------------------------------------------- obs bridge
 

@@ -38,6 +38,29 @@ class SanitizerViolation(ReproError):
         self.violation = violation
 
 
+class RaceDetected(ReproError):
+    """The happens-before race engine found two conflicting accesses with
+    no synchronization edge between them, in strict mode.
+
+    Like :class:`SanitizerViolation`, a direct :class:`ReproError`
+    subclass so no layer's recovery path can swallow it.  ``violation``
+    is the structured :class:`~repro.analysis.races.RaceViolation`,
+    carrying both access trails."""
+
+    def __init__(self, message: str, violation=None):
+        super().__init__(message)
+        self.violation = violation
+
+
+class UnmetExpectation(ReproError, AssertionError):
+    """A ``PinSanitizer.expect()`` block completed without the expected
+    violation ever firing, and ``disarm()`` was reached.
+
+    Doubles as an :class:`AssertionError` so test harnesses report it as
+    a plain failure: an expectation that never fires is a test bug (the
+    scenario stopped exercising the hazard), not a sanitizer escape."""
+
+
 # ---------------------------------------------------------------------------
 # Hardware layer
 # ---------------------------------------------------------------------------

@@ -130,8 +130,12 @@ class DMAEngine:
                       ) -> None:
         if spans is not None:
             frames = tuple(frame for frame, _offset, _n in spans)
-            self._events.emit(DMA_END, frames=frames, op=op,
-                              engine=self.name, spans=spans)
+            # Guarded by proxy: spans is only non-None when the hub was
+            # active at window open, and DMA_END must pair with its
+            # DMA_BEGIN even if the hub deactivated mid-window.
+            self._events.emit(  # repro-lint: allow(hub-emit-unguarded)
+                DMA_END, frames=frames, op=op,
+                engine=self.name, spans=spans)
 
     def _maybe_fault(self, op: str, phys_addr: int, length: int) -> None:
         """Raise an injected :class:`DMAFault` when the plan says so —

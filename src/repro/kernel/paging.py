@@ -241,7 +241,8 @@ def _swap_out_task_one(kernel: "Kernel", task: "Task") -> "bool | None":
                 obs.metrics.counter("kernel.paging.orphaned_frames").inc()
         if kernel.events.active:
             kernel.events.emit(SWAP_OUT, pid=task.pid, vpn=vpn,
-                               frame=pd.frame, freed=was_freed)
+                               frame=pd.frame, freed=was_freed,
+                               actor="reclaim")
         kernel.trace.emit("swap_out", pid=task.pid, vpn=vpn,
                           frame=pd.frame, slot=slot,
                           refs_before=refs_before, freed=was_freed)

@@ -459,7 +459,8 @@ class OrphanReaper:
                 pd.unpin()
             if self.kernel.events.active:
                 self.kernel.events.emit(
-                    UNPIN, frames=(pd.frame,) * excess, pid=None)
+                    UNPIN, frames=(pd.frame,) * excess, pid=None,
+                    actor="reaper")
             self._backoff.pop(key, None)
             excess_frames.discard(frame)
             report.pins_force_released += excess

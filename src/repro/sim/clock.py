@@ -25,6 +25,23 @@ deadline from ``now_ns`` (catch-up semantics; see
 ``subscribe()`` remains as a deprecated per-charge fan-out shim for
 out-of-tree callers; in-tree code must use the calendar (enforced by the
 ``clock-subscribe`` repro-lint rule).
+
+Two extension points exist for the analysis layer (``repro.analysis``):
+
+* **Seeded tie-break permutation** — by default, same-deadline events
+  dispatch FIFO (by schedule order).  :meth:`SimClock.set_tiebreak`
+  installs a seed that permutes same-deadline ties deterministically
+  (:func:`tiebreak_key`), which is how the schedule explorer
+  (``repro.analysis.explore``) enumerates alternative legal schedules.
+  ``set_tiebreak(None)`` is the identity: FIFO order is preserved
+  exactly.
+* **Calendar hooks** — :meth:`SimClock.add_calendar_hook` registers a
+  :class:`CalendarHook` observing scheduling and dispatch
+  (``scheduled``/``pass_begin``/``fire_begin``/``fire_end``), and
+  :attr:`SimClock.current_firing` names the callback currently running.
+  The happens-before race engine uses these to attribute events to
+  execution contexts and to build calendar causality edges.  With no
+  hooks installed the dispatch path pays one truthiness test per event.
 """
 
 from __future__ import annotations
@@ -32,6 +49,49 @@ from __future__ import annotations
 import heapq
 from contextlib import contextmanager
 from typing import Callable, Iterator
+
+_MASK64 = (1 << 64) - 1
+
+
+def tiebreak_key(seed: int, seq: int) -> int:
+    """Deterministic 64-bit mix of ``(seed, seq)`` (splitmix64-style).
+
+    Used as the secondary heap key for same-deadline calendar events
+    when a tie-break seed is installed (:meth:`SimClock.set_tiebreak`):
+    different seeds yield different — but fully reproducible —
+    permutations of every tie group.  Pure function of its arguments, so
+    the schedule explorer can *predict* the permutation a seed induces
+    on a recorded tie group without re-running the simulation (the
+    DPOR-lite pruning step relies on this).
+    """
+    x = (seq * 0x9E3779B97F4A7C15 + (seed + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+class CalendarHook:
+    """Observer interface for the event calendar (all methods no-ops).
+
+    Subclass and override what you need; install with
+    :meth:`SimClock.add_calendar_hook`.  Hooks must not schedule or
+    cancel events from ``fire_begin``/``fire_end`` — they observe.
+    """
+
+    def scheduled(self, event: "ScheduledEvent") -> None:
+        """``event`` was just pushed onto the calendar."""
+
+    def pass_begin(self) -> None:
+        """A dispatch pass is starting (at least one event is due)."""
+
+    def fire_begin(self, event: "ScheduledEvent") -> None:
+        """``event``'s callback is about to run."""
+
+    def fire_end(self, event: "ScheduledEvent") -> None:
+        """``event``'s callback returned (or raised)."""
 
 
 class ScheduledEvent:
@@ -94,11 +154,18 @@ class SimClock:
         self._now_ns: int = 0
         self._by_category: dict[str, int] = {}
         self._frozen = False
-        #: event calendar: lazy min-heap of (deadline_ns, seq, event)
-        self._events: list[tuple[int, int, ScheduledEvent]] = []
+        #: event calendar: lazy min-heap of (deadline_ns, tiekey, seq,
+        #: event) — tiekey is 0 (FIFO identity) unless a tie-break seed
+        #: is installed (see :meth:`set_tiebreak`)
+        self._events: list[tuple[int, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._tombstones = 0
         self._dispatching = False
+        self._tiebreak_seed: int | None = None
+        #: the calendar callback currently executing, if any — analysis
+        #: code reads this to attribute work to an execution context
+        self.current_firing: ScheduledEvent | None = None
+        self._calendar_hooks: list[CalendarHook] = []
         #: deprecated per-charge fan-out shim (see :meth:`subscribe`)
         self._watchers: list[Callable[[int], None]] = []
         self._notifying = False
@@ -168,14 +235,29 @@ class SimClock:
         """
         events = self._events
         self._dispatching = True
+        if self._calendar_hooks:
+            for hook in tuple(self._calendar_hooks):
+                hook.pass_begin()
         try:
             while events and events[0][0] <= self._now_ns:
-                _, _, event = heapq.heappop(events)
+                _, _, _, event = heapq.heappop(events)
                 if event._cancelled:
                     self._tombstones -= 1
                     continue
                 event._fired = True
-                event.fn(self._now_ns)
+                if self._calendar_hooks:
+                    hooks = tuple(self._calendar_hooks)
+                    self.current_firing = event
+                    for hook in hooks:
+                        hook.fire_begin(event)
+                    try:
+                        event.fn(self._now_ns)
+                    finally:
+                        self.current_firing = None
+                        for hook in hooks:
+                            hook.fire_end(event)
+                else:
+                    event.fn(self._now_ns)
         finally:
             self._dispatching = False
 
@@ -204,7 +286,12 @@ class SimClock:
                              f"{deadline_ns}")
         self._seq += 1
         event = ScheduledEvent(deadline_ns, self._seq, fn, name, shard)
-        heapq.heappush(self._events, (deadline_ns, self._seq, event))
+        seed = self._tiebreak_seed
+        key = 0 if seed is None else tiebreak_key(seed, self._seq)
+        heapq.heappush(self._events, (deadline_ns, key, self._seq, event))
+        if self._calendar_hooks:
+            for hook in tuple(self._calendar_hooks):
+                hook.scheduled(event)
         return event
 
     def schedule_after(self, delay_ns: int, fn: Callable[[int], None],
@@ -235,7 +322,7 @@ class SimClock:
         """Cancel every pending event tagged with ``shard``; returns how
         many were cancelled."""
         cancelled = 0
-        for _, _, event in self._events:
+        for _, _, _, event in self._events:
             if event.shard == shard and event.cancel():
                 cancelled += 1
         self._tombstones += cancelled
@@ -246,14 +333,54 @@ class SimClock:
     def pending_events(self, shard: str | None = None) -> int:
         """Number of pending (non-tombstoned) events, optionally only
         those tagged ``shard``."""
-        return sum(1 for _, _, ev in self._events
+        return sum(1 for _, _, _, ev in self._events
                    if ev.pending and (shard is None or ev.shard == shard))
 
     def _compact(self) -> None:
-        live = [entry for entry in self._events if entry[2].pending]
+        live = [entry for entry in self._events if entry[3].pending]
         heapq.heapify(live)
         self._events = live
         self._tombstones = 0
+
+    # -- tie-break permutation & calendar hooks ----------------------------
+
+    @property
+    def tiebreak_seed(self) -> int | None:
+        """The installed tie-break seed (``None`` = FIFO identity)."""
+        return self._tiebreak_seed
+
+    def set_tiebreak(self, seed: int | None) -> int | None:
+        """Install a seed permuting dispatch order among same-deadline
+        events; returns the previous seed.
+
+        With ``seed=None`` (the default) ties dispatch FIFO in schedule
+        order.  With an integer seed, each event's secondary heap key
+        becomes :func:`tiebreak_key(seed, seq) <tiebreak_key>`, so every
+        tie group dispatches in a seed-determined permutation — fully
+        deterministic, and predictable offline from the (seed, seq)
+        pairs alone.  Only events scheduled *after* the call are
+        affected; deadline order is never violated, so every permuted
+        schedule is a legal schedule.  The seed survives :meth:`reset`
+        (the explorer spans resets within one run).
+        """
+        prev = self._tiebreak_seed
+        self._tiebreak_seed = seed
+        return prev
+
+    def add_calendar_hook(self, hook: CalendarHook) -> Callable[[], None]:
+        """Install a :class:`CalendarHook`; returns a remover callable.
+
+        Hooks observe scheduling and dispatch; with none installed the
+        dispatch path pays a single truthiness test per event.
+        """
+        self._calendar_hooks.append(hook)
+
+        def remove() -> None:
+            try:
+                self._calendar_hooks.remove(hook)
+            except ValueError:
+                pass
+        return remove
 
     # -- deprecated subscriber shim ----------------------------------------
 
@@ -315,13 +442,19 @@ class SimClock:
         subscribed watchers are dropped, so periodic daemons from a
         previous benchmark phase cannot misfire into the next one.
         Daemons that should survive a reset must be re-started against
-        the fresh timeline.
+        the fresh timeline.  The tie-break seed and calendar hooks are
+        *kept*: an exploration run owns both for its whole lifetime,
+        resets included (remove hooks explicitly when detaching).
         """
         self._now_ns = 0
         self._by_category.clear()
-        for _, _, event in self._events:
+        for _, _, _, event in self._events:
             event._cancelled = True
         self._events.clear()
+        # The sequence counter restarts with the timeline: replaying the
+        # same schedule after a reset reproduces the same tie-break
+        # permutation (the calendar is empty, so no handle can collide).
+        self._seq = 0
         self._tombstones = 0
         self._watchers.clear()
 

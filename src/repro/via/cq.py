@@ -11,6 +11,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque
 
+from repro.analysis.events import COMPLETION
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.via.descriptor import Descriptor
 
@@ -32,13 +34,18 @@ class Completion:
 class CompletionQueue:
     """FIFO of :class:`Completion` notifications."""
 
-    def __init__(self, depth: int = 1024, obs=None) -> None:
+    def __init__(self, depth: int = 1024, obs=None, events=None) -> None:
         self.depth = depth
         self._items: Deque[Completion] = deque()
         self.overflows = 0
         #: optional :class:`~repro.obs.Observability` (wired by
         #: :meth:`UserAgent.create_cq`; standalone CQs stay unobserved)
         self.obs = obs
+        #: optional :class:`~repro.analysis.events.EventHub` (wired by
+        #: :meth:`UserAgent.create_cq`): observing a completion emits a
+        #: COMPLETION event that acquires the posting DOORBELL's token,
+        #: closing the publish/observe happens-before edge
+        self.events = events
 
     def post(self, completion: Completion) -> None:
         """NIC side: append a completion (drops + counts on overflow,
@@ -53,10 +60,20 @@ class CompletionQueue:
         if obs is not None and obs.enabled:
             obs.metrics.gauge("via.cq.depth").set(len(self._items))
 
+    def _note_observed(self, completion: Completion) -> None:
+        events = self.events
+        if events is not None and events.active:
+            token = completion.descriptor.hb_token
+            if token is not None:
+                events.emit(COMPLETION, token=token, vi=completion.vi_id,
+                            queue=completion.queue)
+
     def poll(self) -> Completion | None:
         """User side: pop the oldest completion, or None."""
         if self._items:
-            return self._items.popleft()
+            completion = self._items.popleft()
+            self._note_observed(completion)
+            return completion
         return None
 
     def drain_batch(self, max_items: int | None = None,
@@ -72,10 +89,13 @@ class CompletionQueue:
         if max_items is None or max_items >= len(items):
             out = list(items)
             items.clear()
-            return out
-        if max_items <= 0:
+        elif max_items <= 0:
             return []
-        return [items.popleft() for _ in range(max_items)]
+        else:
+            out = [items.popleft() for _ in range(max_items)]
+        for completion in out:
+            self._note_observed(completion)
+        return out
 
     def drain_vi(self, vi_id: int) -> int:
         """Drop every queued completion belonging to ``vi_id``; returns

@@ -68,6 +68,10 @@ class Descriptor:
     #: simulated time the NIC accepted the descriptor (stamped at post;
     #: the orphan reaper uses it to age out abandoned descriptors)
     posted_at_ns: int | None = None
+    #: happens-before token stamped at post when the analysis stream is
+    #: armed: the NIC's DOORBELL release and the CQ's COMPLETION acquire
+    #: are keyed by it, giving the race engine the publish/observe edge
+    hb_token: int | None = None
 
     desc_id: int = field(default_factory=lambda: next(_desc_ids))
 

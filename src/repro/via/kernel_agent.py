@@ -16,7 +16,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.analysis.events import DEREGISTER, FAULT_SERVICE, ODP_EVICT, REGISTER
+from repro.analysis.events import (
+    DEREGISTER, FAULT_SERVICE, FENCE, ODP_EVICT, REGISTER,
+)
 from repro.errors import (
     InvalidArgument, NotRegistered, ProcessKilled, ViaError,
 )
@@ -341,7 +343,8 @@ class KernelAgent:
                 kernel.events.emit(
                     FAULT_SERVICE, handle=handle, pages=pages,
                     frames=tuple(frames[i] for i in pages),
-                    pid=reg.pid, token=token, coalesced=True)
+                    pid=reg.pid, token=token, coalesced=True,
+                    actor="fault_service")
             kernel.trace.emit("odp_fault_coalesced", handle=handle,
                               pages=len(pages), pid=reg.pid)
             return {i: frames[i] for i in pages}
@@ -364,7 +367,8 @@ class KernelAgent:
             kernel.events.emit(
                 FAULT_SERVICE, handle=handle, pages=pages,
                 frames=tuple(patched[i] for i in pages),
-                pid=reg.pid, token=token, coalesced=False)
+                pid=reg.pid, token=token, coalesced=False,
+                actor="fault_service")
         kernel.trace.emit("odp_fault_service", handle=handle,
                           pages=len(pages), pid=reg.pid)
         crash_if_due(self.fault_plan, kernel, task, "odp_fault.patched")
@@ -392,6 +396,12 @@ class KernelAgent:
                 continue
             # Fence before unpin: the NIC must stop translating through
             # the frame before the pin that kept it resident goes away.
+            # The FENCE release is keyed by handle so a later fault
+            # service of this region is ordered after the invalidation.
+            if kernel.events.active:
+                kernel.events.emit(FENCE, handle=handle, frame=frame,
+                                   pages=tuple(sorted(indices)),
+                                   actor="agent")
             self.nic.tpt.invalidate_pages(handle, sorted(indices))
             assert isinstance(self.backend, OdpLocking)
             self.backend.evict_frame(kernel, reg.region.lock_cookie, frame)
@@ -399,7 +409,7 @@ class KernelAgent:
             if kernel.events.active:
                 kernel.events.emit(ODP_EVICT, handle=handle, frame=frame,
                                    pages=tuple(sorted(indices)),
-                                   pid=reg.pid)
+                                   pid=reg.pid, actor="agent")
             kernel.trace.emit("odp_evict", handle=handle, frame=frame,
                               pages=len(indices), pid=reg.pid)
         return not kernel.pagemap.page(frame).pinned

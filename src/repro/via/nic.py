@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.analysis.events import DMA_RESUME, DMA_SUSPEND
+from repro.analysis.events import DMA_RESUME, DMA_SUSPEND, DOORBELL
 from repro.errors import (
     DescriptorError, DMAFault, KernelError, NotRegistered, ProcessKilled,
     ProtectionError, TranslationFault, ViaConnectionError, ViaError,
@@ -86,6 +86,10 @@ class VIANic:
         #: construction: ``(handle, pages, token=) -> {page: frame}``
         self.fault_service = None
         self._next_suspend_token = 1
+        #: happens-before tokens stamped on posted descriptors when the
+        #: analysis stream is armed (DOORBELL release → COMPLETION
+        #: acquire); 0 is never issued so tokens are always truthy
+        self._next_hb_token = 1
         #: per-word serialization of the atomic unit: flat physical word
         #: address → simulated time the word is held until.  An atomic
         #: arriving inside another atomic's contention window stalls.
@@ -185,6 +189,20 @@ class VIANic:
         self.kernel.clock.charge(costs.doorbell_ring_ns, "via_cpu")
         self.kernel.clock.charge(costs.descriptor_fetch_ns, "via_nic")
 
+    def _announce_post(self, descs: "list[Descriptor]", vi_id: int,
+                       pid: int, queue: str) -> None:
+        """Publish the post on the analysis stream: one DOORBELL per
+        descriptor, each carrying a fresh happens-before token the CQ's
+        COMPLETION event will acquire when the completion is observed."""
+        events = self.kernel.events
+        if not events.active:
+            return
+        for desc in descs:
+            desc.hb_token = self._next_hb_token
+            self._next_hb_token += 1
+            events.emit(DOORBELL, token=desc.hb_token, vi=vi_id,
+                        pid=pid, queue=queue)
+
     def post_recv(self, vi_id: int, desc: Descriptor, pid: int) -> None:
         """Post a receive descriptor (must precede the matching send)."""
         self.check_faults()
@@ -199,6 +217,7 @@ class VIANic:
         desc.done = False
         desc.status = VIP_NOT_DONE
         desc.posted_at_ns = self.kernel.clock.now_ns
+        self._announce_post([desc], vi_id, pid, "recv")
         vi.recv_queue.append(desc)
         obs = self.kernel.obs
         if obs.enabled:
@@ -224,6 +243,7 @@ class VIANic:
         desc.done = False
         desc.status = VIP_NOT_DONE
         desc.posted_at_ns = self.kernel.clock.now_ns
+        self._announce_post([desc], vi_id, pid, "send")
         vi.send_queue.append(desc)
         obs = self.kernel.obs
         if obs.enabled:
@@ -266,6 +286,7 @@ class VIANic:
         vi.recv_doorbell.ring(pid)
         self._charge_post_batch(len(descs))
         now = self.kernel.clock.now_ns
+        self._announce_post(descs, vi_id, pid, "recv")
         for desc in descs:
             desc.done = False
             desc.status = VIP_NOT_DONE
@@ -306,6 +327,7 @@ class VIANic:
         vi.require_connected()
         self._charge_post_batch(len(descs))
         now = self.kernel.clock.now_ns
+        self._announce_post(descs, vi_id, pid, "send")
         for desc in descs:
             desc.done = False
             desc.status = VIP_NOT_DONE
@@ -377,7 +399,8 @@ class VIANic:
         if kernel.events.active:
             kernel.events.emit(DMA_SUSPEND, handle=fault.handle,
                                pages=fault.pages, token=token,
-                               va=fault.va, length=fault.length)
+                               va=fault.va, length=fault.length,
+                               actor="nic")
         kernel.trace.emit("odp_dma_suspend", nic=self.name,
                           handle=fault.handle, pages=len(fault.pages),
                           token=token)
@@ -404,7 +427,7 @@ class VIANic:
         kernel = self.kernel
         if kernel.events.active:
             kernel.events.emit(DMA_RESUME, handle=handle, token=token,
-                               ok=ok)
+                               ok=ok, actor="nic")
         kernel.trace.emit("odp_dma_resume", nic=self.name, handle=handle,
                           token=token, ok=ok)
 

@@ -56,8 +56,10 @@ class UserAgent:
 
     def create_cq(self, depth: int = 1024) -> CompletionQueue:
         """``VipCreateCQ`` (the CQ reports depth/overflow metrics to the
-        kernel's observability when it is enabled)."""
-        return CompletionQueue(depth, obs=self.agent.kernel.obs)
+        kernel's observability when it is enabled, and completion
+        observations to the kernel's analysis stream when it is armed)."""
+        return CompletionQueue(depth, obs=self.agent.kernel.obs,
+                               events=self.agent.kernel.events)
 
     def create_vi(self, reliability: ReliabilityLevel =
                   ReliabilityLevel.RELIABLE_DELIVERY,

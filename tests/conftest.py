@@ -14,7 +14,15 @@ other value accumulates and fails the test at teardown).  Tests that
 paper says they do — scope them out with
 ``@pytest.mark.san_suppress("check", ...)``; with no arguments the
 marker skips suite-level arming for that test entirely (for tests
-that manage their own sanitizer or hand-feed event streams)."""
+that manage their own sanitizer or hand-feed event streams).
+
+``REPRO_RACE`` works the same way for the happens-before race engine:
+every kernel built during a test is armed with a
+:class:`~repro.analysis.races.RaceDetector` (``strict`` raises
+:class:`~repro.errors.RaceDetected` at the access that closes a race;
+any other value accumulates and fails at teardown), opted out per race
+kind — or entirely, with no arguments — via
+``@pytest.mark.race_suppress(...)``."""
 
 from __future__ import annotations
 
@@ -22,6 +30,7 @@ import os
 
 import pytest
 
+from repro.analysis.races import RaceDetector
 from repro.analysis.sanitizer import PinSanitizer
 from repro.core.audit import audit_kernel_invariants
 from repro.kernel.kernel import Kernel
@@ -31,8 +40,11 @@ _live_kernels: list[Kernel] = []
 _original_kernel_init = Kernel.__init__
 
 _SANITIZE_MODE = os.environ.get("REPRO_SANITIZE", "")
+_RACE_MODE = os.environ.get("REPRO_RACE", "")
 #: the suite-level sanitizer for the current test, when arming is on
 _suite_sanitizer: list[PinSanitizer] = []
+#: the suite-level race detector for the current test, when arming is on
+_suite_detector: list[RaceDetector] = []
 
 
 def _recording_init(self, *args, **kwargs):
@@ -43,6 +55,8 @@ def _recording_init(self, *args, **kwargs):
         # registrations, so the arming baseline is trivially right even
         # though a Machine may relabel the hub's host afterwards.
         _suite_sanitizer[0].arm(self)
+    if _suite_detector:
+        _suite_detector[0].arm(self)
 
 
 Kernel.__init__ = _recording_init
@@ -52,11 +66,18 @@ Kernel.__init__ = _recording_init
 def pytest_runtest_setup(item):
     _live_kernels.clear()
     _suite_sanitizer.clear()
+    _suite_detector.clear()
     if _SANITIZE_MODE:
         marker = item.get_closest_marker("san_suppress")
         if marker is None or marker.args:
             _suite_sanitizer.append(PinSanitizer(
                 strict=_SANITIZE_MODE == "strict",
+                suppress=marker.args if marker is not None else ()))
+    if _RACE_MODE:
+        marker = item.get_closest_marker("race_suppress")
+        if marker is None or marker.args:
+            _suite_detector.append(RaceDetector(
+                strict=_RACE_MODE == "strict",
                 suppress=marker.args if marker is not None else ()))
     yield
 
@@ -68,6 +89,7 @@ def pytest_runtest_teardown(item, nextitem):
     yield
     kernels, _live_kernels[:] = list(_live_kernels), []
     sanitizers, _suite_sanitizer[:] = list(_suite_sanitizer), []
+    detectors, _suite_detector[:] = list(_suite_detector), []
     for san in sanitizers:
         san.disarm()
         if san.violations:
@@ -75,6 +97,12 @@ def pytest_runtest_teardown(item, nextitem):
                 f"pin sanitizer recorded {len(san.violations)} "
                 f"violation(s):\n\n"
                 + "\n\n".join(v.format() for v in san.violations))
+    for det in detectors:
+        det.disarm()
+        if det.races:
+            raise AssertionError(
+                f"race detector recorded {len(det.races)} race(s):\n\n"
+                + "\n\n".join(r.format() for r in det.races))
     if item.get_closest_marker("no_posthoc_audit") is not None:
         return
     for kernel in kernels:

@@ -1,0 +1,16 @@
+"""Fixture: unguarded event-hub emissions (3 findings)."""
+
+
+def hot_path(kernel, frame):
+    kernel.events.emit("pin", frames=(frame,))          # <- finding
+
+
+def wrong_guard(kernel, armed, frame):
+    if armed:                                           # not the hub
+        kernel.events.emit("unpin", frames=(frame,))    # <- finding
+
+
+def bail_does_not_return(self, frame):
+    if not self.kernel.events.active:
+        frame += 1                                      # no bail-out
+    self.kernel.events.emit("pin", frames=(frame,))     # <- finding

@@ -1,0 +1,145 @@
+"""Schedule-exploration tests: the seeded goldens and the explorer
+machinery.
+
+The acceptance bar for the whole subsystem lives here: each seeded race
+class is detected **under exploration but not on the default
+schedule** — the identity run of every seeded scenario is race-clean,
+and the explorer's permuted tie-breaks surface exactly the declared
+race kind.  These tests arm their own detector/sanitizer per run, so
+suite-level arming is skipped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.explore import (
+    ExploreConfig, ExploreReport, Scenario, explore, run_one,
+)
+from repro.analysis.scenarios import SCENARIOS
+
+pytestmark = [pytest.mark.san_suppress, pytest.mark.race_suppress]
+
+SEEDED = ["unpin_vs_dma", "invalidate_vs_translate",
+          "fault_service_vs_evict"]
+CONFIG = ExploreConfig(schedules=6)
+
+
+@pytest.fixture(scope="module")
+def reports() -> dict[str, ExploreReport]:
+    """Explore every registered scenario once; tests share the verdicts
+    (exploration re-runs each scenario several times)."""
+    return {name: explore(sc, CONFIG) for name, sc in SCENARIOS.items()}
+
+
+class TestSeededGoldens:
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_default_schedule_is_clean(self, reports, name):
+        identity = reports[name].identity_result
+        assert identity.seed is None
+        assert identity.clean, (
+            f"{name}: the FIFO schedule must be the safe protocol order")
+
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_exploration_detects_the_seeded_race(self, reports, name):
+        report = reports[name]
+        expected = set(SCENARIOS[name].expect_races)
+        assert report.race_kinds_found == expected
+        assert report.schedules_run > 1, (
+            f"{name}: no permuted schedule survived pruning — the "
+            f"seeded conflict was invisible to DPOR")
+
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_racy_runs_name_a_permuted_seed(self, reports, name):
+        racy = [r for r in reports[name].results if r.races]
+        assert racy and all(r.seed is not None for r in racy)
+
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_seeded_tie_group_was_recorded(self, reports, name):
+        report = reports[name]
+        assert len(report.groups) == 1
+        _deadline, members = report.groups[0]
+        assert len(members) == 2
+
+
+class TestExplorationWorkloads:
+    @pytest.mark.parametrize("name", ["kill_sweep", "odp_fault"])
+    def test_workload_is_race_clean_everywhere(self, reports, name):
+        report = reports[name]
+        dirty = [r for r in report.results if not r.clean]
+        assert not dirty, "\n".join(
+            f"seed={r.seed} crash={r.crash_point}: "
+            + "; ".join(v.race for v in r.races)
+            + "; ".join(v.check for v in r.san_violations)
+            for r in dirty)
+
+    def test_kill_sweep_places_every_crash_point(self, reports):
+        report = reports["kill_sweep"]
+        placed = {r.crash_point for r in report.results} - {None}
+        assert placed == set(SCENARIOS["kill_sweep"].crash_points)
+        # the build catches its own ProcessKilled (the reaper must run
+        # to converge the orphans), so every run still reports "ok"
+        assert all(r.outcome == "ok" for r in report.results)
+
+    def test_odp_fault_runs_a_conflicting_permutation(self, reports):
+        report = reports["odp_fault"]
+        assert report.pruned > 0                # disjoint ties skipped
+        assert any(r.seed is not None for r in report.results)
+
+
+class TestExplorerMachinery:
+    def test_exploration_is_deterministic(self):
+        sc = SCENARIOS["unpin_vs_dma"]
+        first = explore(sc, CONFIG).to_payload()
+        second = explore(sc, CONFIG).to_payload()
+        assert first == second
+
+    def test_dpor_pruning_loses_no_verdicts(self):
+        sc = SCENARIOS["unpin_vs_dma"]
+        pruned = explore(sc, ExploreConfig(schedules=6, dpor=True))
+        full = explore(sc, ExploreConfig(schedules=6, dpor=False))
+        assert pruned.pruned > 0
+        assert full.pruned == 0
+        assert full.schedules_run > pruned.schedules_run
+        assert pruned.race_kinds_found == full.race_kinds_found
+
+    def test_crash_with_schedules_multiplies_placements(self):
+        sc = SCENARIOS["fault_service_vs_evict"]
+        crashy = Scenario(
+            name=sc.name, build=sc.build, expect_races=sc.expect_races,
+            crash_points=("odp_fault.start",))
+        report = explore(crashy, ExploreConfig(schedules=6,
+                                               crash_with_schedules=True))
+        placed = [r for r in report.results
+                  if r.crash_point == "odp_fault.start"]
+        assert {r.seed for r in placed} > {None}
+
+    def test_run_one_classifies_escaping_kills(self):
+        from repro.errors import ProcessKilled, ViaError
+
+        def doomed(run):
+            raise ProcessKilled("victim", pid=1, point="register.start")
+
+        result, _run = run_one(Scenario(name="doomed", build=doomed))
+        assert result.outcome == "killed"
+        result, _run = run_one(Scenario(
+            name="broken",
+            build=lambda run: (_ for _ in ()).throw(ViaError("no"))))
+        assert result.outcome == "error:ViaError"
+
+    def test_run_one_records_detector_and_sanitizer(self):
+        result, run = run_one(SCENARIOS["unpin_vs_dma"])
+        assert result.outcome == "ok"
+        assert result.clean
+        assert not run.detector.armed and not run.sanitizer.armed
+        assert run.detector.events_seen > 0
+
+    def test_report_payload_shape(self, reports):
+        payload = reports["unpin_vs_dma"].to_payload()
+        assert payload["scenario"] == "unpin_vs_dma"
+        assert payload["identity_clean"] is True
+        assert payload["race_kinds_found"] == ["unpin-vs-dma"]
+        assert payload["schedules_run"] == len(payload["results"])
+        racy = [r for r in payload["results"] if r["races"]]
+        assert racy and racy[0]["races"][0]["location"] == [
+            "frame", racy[0]["races"][0]["location"][1]]

@@ -137,6 +137,28 @@ def test_clock_subscribe_exempts_the_clock_module():
         source, relpath="repro/kernel/reaper.py")) == 1
 
 
+# -------------------------------------------------------------- hub-emit-unguarded
+
+def test_hub_emit_flags_unguarded_emissions():
+    findings = lint_fixture("bad_hub_emit.py")
+    assert rules_of(findings) == ["hub-emit-unguarded"] * 3
+    assert len({f.line for f in findings}) == 3
+
+
+def test_hub_emit_accepts_guards_truthiness_and_pragma():
+    assert lint_fixture("good_hub_emit.py") == []
+
+
+def test_hub_emit_exempts_the_analysis_package():
+    source = ("def f(self, frame):\n"
+              "    self.events.emit('pin', frames=(frame,))\n")
+    linter = Linter(["hub-emit-unguarded"])
+    assert linter.check_source(
+        source, relpath="repro/analysis/events.py") == []
+    assert len(linter.check_source(
+        source, relpath="repro/kernel/kernel.py")) == 1
+
+
 # ------------------------------------------------------------------- machinery
 
 def test_rules_are_individually_toggleable():

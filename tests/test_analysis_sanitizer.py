@@ -5,8 +5,10 @@ import numpy as np
 import pytest
 
 # Every test here manages its own sanitizer (or hand-feeds events), so
-# suite-level arming would double-count and double-raise.
-pytestmark = pytest.mark.san_suppress
+# suite-level arming would double-count and double-raise — and several
+# tests assert the hub has no subscribers at all, which suite-level
+# race-detector arming would also break.
+pytestmark = [pytest.mark.san_suppress, pytest.mark.race_suppress]
 
 from repro.analysis.events import (
     ATOMIC_RMW, DEREGISTER, DMA_BEGIN, DMA_END, PIN, REGISTER, SWAP_OUT,
@@ -15,7 +17,7 @@ from repro.analysis.events import (
 )
 from repro.analysis.sanitizer import CHECKS, MLOCK_BACKENDS, PinSanitizer
 from repro.core.locktest import LocktestExperiment
-from repro.errors import SanitizerViolation
+from repro.errors import SanitizerViolation, UnmetExpectation
 from repro.hw.physmem import PAGE_SIZE
 from repro.kernel.kiobuf import map_user_kiobuf, unmap_kiobuf
 from repro.msg.endpoint import make_pair
@@ -245,6 +247,41 @@ class TestModes:
             ])
         assert {v.check for v in got} == {"pin-underflow",
                                          "dma-swapped-frame"}
+
+    def test_unmet_expectation_raises_at_disarm(self):
+        # Regression: an expect() block whose violation never fires used
+        # to pass silently — the assertion on the capture list becomes
+        # vacuous when the scenario stops exercising the hazard.
+        san = PinSanitizer().arm(Machine(num_frames=32, seed=0))
+        with san.expect("pin-underflow") as got:
+            pass                                # hazard never provoked
+        assert got == []
+        with pytest.raises(UnmetExpectation, match="pin-underflow"):
+            san.disarm()
+        # the unmet list is consumed: a second disarm is quiet
+        san.disarm()
+
+    def test_met_expectation_disarms_quietly(self):
+        san = PinSanitizer().arm(Machine(num_frames=32, seed=0))
+        with san.expect("pin-underflow") as got:
+            san.feed([(UNPIN, dict(frames=(9,), pid=1))])
+        assert [v.check for v in got] == ["pin-underflow"]
+        san.disarm()
+        assert san.violations == []
+
+    def test_exception_in_expect_block_is_not_masked(self):
+        # An exception unwinding through the block is the usual reason
+        # nothing fired; the expectation must not pile on top of it.
+        san = PinSanitizer().arm(Machine(num_frames=32, seed=0))
+        with pytest.raises(RuntimeError, match="workload died"):
+            with san.expect("pin-underflow"):
+                raise RuntimeError("workload died")
+        san.disarm()
+
+    def test_unmet_expectation_is_an_assertion_failure(self):
+        # UnmetExpectation doubles as AssertionError so test harnesses
+        # report it as a plain failure, not an error.
+        assert issubclass(UnmetExpectation, AssertionError)
 
 
 # --------------------------------------------------------- runtime integration

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Command-line front end for :mod:`repro.analysis.explore`.
+
+Usage::
+
+    python tools/race_explore.py                      # all scenarios
+    python tools/race_explore.py kill_sweep odp_fault # a subset
+    python tools/race_explore.py --schedules 16
+    python tools/race_explore.py --list
+    python tools/race_explore.py --report RACE_REPORT.json
+
+Runs each named scenario through the schedule explorer and checks its
+verdict against the scenario's declaration: a scenario with
+``expect_races`` must be clean on the identity schedule and must
+surface exactly the declared race kinds under exploration; a scenario
+without must be clean under every schedule and crash placement.  Exits
+1 on any mismatch, 0 otherwise — suitable for ``make race`` and CI.
+
+``--schedules`` defaults to the ``REPRO_RACE_SCHEDULES`` environment
+variable (CI scales exploration down with it), then to 8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.explore import ExploreConfig, explore  # noqa: E402
+from repro.analysis.scenarios import SCENARIOS  # noqa: E402
+
+
+def check(report, scenario) -> list[str]:
+    """Mismatches between one exploration verdict and its scenario's
+    declaration (empty = pass)."""
+    problems = []
+    if not report.identity_result.clean:
+        problems.append(
+            "identity (FIFO) schedule is not clean: "
+            + "; ".join(r.race for r in report.identity_result.races))
+    expected = set(scenario.expect_races)
+    found = report.race_kinds_found
+    if found - expected:
+        problems.append(f"unexpected race kinds {sorted(found - expected)}")
+    if expected - found:
+        problems.append(
+            f"seeded race kinds {sorted(expected - found)} never detected "
+            f"across {report.schedules_run} schedules")
+    if not expected:
+        for res in report.results:
+            if res.san_violations:
+                problems.append(
+                    f"seed={res.seed} crash={res.crash_point}: sanitizer "
+                    + "; ".join(v.check for v in res.san_violations))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="race-explore", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "scenarios", nargs="*", default=[],
+        help="scenario names to explore (default: all registered)")
+    parser.add_argument(
+        "--schedules", type=int,
+        default=int(os.environ.get("REPRO_RACE_SCHEDULES", "8")),
+        help="schedules to attempt per scenario, identity included "
+             "(default: $REPRO_RACE_SCHEDULES or 8)")
+    parser.add_argument(
+        "--no-dpor", action="store_true",
+        help="disable DPOR-lite pruning (run every candidate seed)")
+    parser.add_argument(
+        "--crash-with-schedules", action="store_true",
+        help="place every crash point under every surviving seed, not "
+             "just the identity schedule")
+    parser.add_argument(
+        "--report", metavar="PATH",
+        help="write the combined JSON report to PATH")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the registered scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, sc in SCENARIOS.items():
+            tags = f" [seeds: {', '.join(sc.expect_races)}]" \
+                if sc.expect_races else ""
+            print(f"{name:28s} {sc.description}{tags}")
+        return 0
+
+    names = args.scenarios or list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; "
+              f"known: {', '.join(SCENARIOS)}", file=sys.stderr)
+        return 2
+
+    config = ExploreConfig(schedules=args.schedules,
+                           dpor=not args.no_dpor,
+                           crash_with_schedules=args.crash_with_schedules)
+    failed = False
+    payloads = []
+    for name in names:
+        scenario = SCENARIOS[name]
+        report = explore(scenario, config)
+        payloads.append(check_result := report.to_payload())
+        problems = check(report, scenario)
+        check_result["problems"] = problems
+        verdict = "FAIL" if problems else "ok"
+        print(f"{name:28s} {verdict}  schedules={report.schedules_run} "
+              f"pruned={report.pruned} "
+              f"races={sorted(report.race_kinds_found) or '[]'}")
+        for problem in problems:
+            failed = True
+            print(f"    {problem}")
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps({"schedules": args.schedules,
+                        "scenarios": payloads}, indent=2) + "\n")
+        print(f"wrote {args.report}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
